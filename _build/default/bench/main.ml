@@ -1,0 +1,140 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 4 for the experiment index), plus
+   Bechamel micro-kernels, one per table, for timing the core workloads.
+
+   Usage:
+     main.exe                  -- all tables, scaled default protocol
+     main.exe table4 figure4   -- selected experiments
+     main.exe kernels          -- Bechamel micro-benchmarks
+   Options: --runs N  --seed N  --tier tiny|small|standard|full  --jobs N *)
+
+module Tables = Mlpart_experiments.Tables
+module Algos = Mlpart_experiments.Algos
+module Suite = Mlpart_gen.Suite
+module Rng = Mlpart_util.Rng
+
+let kernels () =
+  let open Bechamel in
+  let h small = Suite.instantiate (Suite.find small) in
+  let balu = h "balu" in
+  let primary1 = h "primary1" in
+  let rng = Rng.create 42 in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        (* Table II kernel: one FM run with LIFO buckets. *)
+        stage "table2/fm-lifo" (fun () ->
+            ignore (Algos.fm.Algos.run (Rng.split rng) balu));
+        (* Table III kernel: one CLIP run. *)
+        stage "table3/clip" (fun () ->
+            ignore (Algos.clip.Algos.run (Rng.split rng) balu));
+        (* Table IV kernel: one multilevel MLc run at R = 1. *)
+        stage "table4/mlc" (fun () ->
+            ignore ((Algos.mlc 1.0).Algos.run (Rng.split rng) balu));
+        (* Tables V/VI kernel: slow coarsening (R = 0.33). *)
+        stage "table5_6/mlc-r0.33" (fun () ->
+            ignore ((Algos.mlc 0.33).Algos.run (Rng.split rng) balu));
+        (* Table VII kernel: lookahead engine. *)
+        stage "table7/cl-la3f" (fun () ->
+            ignore (Algos.cl_la3f.Algos.run (Rng.split rng) balu));
+        (* Table VIII kernel: PROP engine (the heap-based slowdown). *)
+        stage "table8/cl-prf" (fun () ->
+            ignore (Algos.cl_prf.Algos.run (Rng.split rng) balu));
+        (* Table IX kernel: multilevel quadrisection. *)
+        stage "table9/ml-4way" (fun () ->
+            ignore (Algos.q_mlf.Algos.qrun (Rng.split rng) primary1));
+        (* Figure 4 kernel: Match coarsening at R = 0.5. *)
+        stage "figure4/match" (fun () ->
+            ignore
+              (Mlpart_multilevel.Match.run (Rng.split rng) primary1 ~ratio:0.5));
+        (* Extras kernels. *)
+        stage "extras/eig" (fun () ->
+            ignore (Mlpart_placement.Spectral.run balu));
+        stage "extras/rb4" (fun () ->
+            ignore (Mlpart_multilevel.Rb.run (Rng.split rng) balu ~k:4));
+        stage "extras/topdown-place" (fun () ->
+            ignore (Mlpart_placement.Topdown.run (Rng.split rng) balu));
+        (* Substrate kernels. *)
+        stage "substrate/induce" (fun () ->
+            let cluster_of, _ =
+              Mlpart_multilevel.Match.run (Rng.split rng) primary1 ~ratio:1.0
+            in
+            ignore (Mlpart_hypergraph.Hypergraph.induce primary1 cluster_of));
+        stage "substrate/gordian-cg" (fun () ->
+            ignore (Mlpart_placement.Gordian.run balu));
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | Some _ | None -> ())
+    results;
+  let rows = List.sort compare !rows in
+  Printf.printf "\nBechamel kernels (monotonic clock):\n";
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-28s %12.0f ns/run\n" name ns)
+    rows
+
+let () =
+  let runs = ref Tables.default_protocol.Tables.runs in
+  let seed = ref Tables.default_protocol.Tables.seed in
+  let tier = ref Tables.default_protocol.Tables.tier in
+  let jobs = ref Tables.default_protocol.Tables.jobs in
+  let selected = ref [] in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse = function
+    | [] -> ()
+    | "--runs" :: v :: rest ->
+        runs := int_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
+        parse rest
+    | "--tier" :: v :: rest ->
+        (match Suite.tier_of_string v with
+        | Some t -> tier := t
+        | None -> failwith (Printf.sprintf "unknown tier %S" v));
+        parse rest
+    | name :: rest ->
+        selected := name :: !selected;
+        parse rest
+  in
+  parse args;
+  let p = { Tables.runs = !runs; seed = !seed; tier = !tier; jobs = !jobs } in
+  let dispatch = function
+    | "table1" -> Tables.table1 p
+    | "table2" -> Tables.table2 p
+    | "table3" -> Tables.table3 p
+    | "table4" -> Tables.table4 p
+    | "table5" -> Tables.table5 p
+    | "table6" -> Tables.table6 p
+    | "table7" -> Tables.table7 p
+    | "table8" -> Tables.table8 p
+    | "table9" -> Tables.table9 p
+    | "figure4" -> Tables.figure4 p
+    | "ablations" -> Tables.ablations p
+    | "extras" -> Tables.extras p
+    | "recursive" -> Tables.recursive p
+    | "all" -> Tables.all p
+    | "kernels" -> kernels ()
+    | other -> failwith (Printf.sprintf "unknown experiment %S" other)
+  in
+  match List.rev !selected with
+  | [] ->
+      Tables.all p;
+      kernels ()
+  | names -> List.iter dispatch names

@@ -1,0 +1,315 @@
+(* mlpart — command-line multilevel circuit partitioner.
+
+   Subcommands:
+     bipartition  2-way partition a .hgr file or generated benchmark
+     quadrisect   4-way partition (multilevel or GORDIAN-style analytic)
+     place        top-down global placement by recursive quadrisection
+     generate     emit a synthetic benchmark in .hgr format
+     evaluate     score a saved part assignment against a netlist
+     info         print hypergraph statistics *)
+
+module H = Mlpart_hypergraph.Hypergraph
+module Hgr_io = Mlpart_hypergraph.Hgr_io
+module Rng = Mlpart_util.Rng
+module Fm = Mlpart_partition.Fm
+module Ml = Mlpart_multilevel.Ml
+open Cmdliner
+
+(* Input is either a .hgr path or "bench:<circuit>" for a generated Table I
+   stand-in. *)
+let load_hypergraph input seed =
+  match String.index_opt input ':' with
+  | Some i when String.sub input 0 i = "bench" ->
+      let name = String.sub input (i + 1) (String.length input - i - 1) in
+      (match Mlpart_gen.Suite.find name with
+      | spec -> Mlpart_gen.Suite.instantiate ~seed spec
+      | exception Not_found ->
+          Printf.eprintf "unknown benchmark %S; known: %s\n" name
+            (String.concat ", "
+               (List.map
+                  (fun s -> s.Mlpart_gen.Suite.circuit)
+                  Mlpart_gen.Suite.all));
+          exit 2)
+  | Some _ | None ->
+      if Filename.check_suffix input ".net" || Filename.check_suffix input ".netD"
+      then begin
+        (* pick up a sibling .are file when present *)
+        let are = Filename.remove_extension input ^ ".are" in
+        let are_path = if Sys.file_exists are then Some are else None in
+        Mlpart_hypergraph.Netd_io.read_files ?are_path input
+      end
+      else Hgr_io.read_file input
+
+let input_arg =
+  let doc = "Input netlist: a .hgr file, an ACM/SIGDA .net/.netD file (a \
+             sibling .are is picked up automatically), or bench:NAME for a \
+             generated stand-in of a Table I circuit (e.g. bench:primary1)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let runs_arg =
+  Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc:"Independent runs; the best result is reported.")
+
+let ratio_arg =
+  Arg.(value & opt float 0.5
+       & info [ "r"; "ratio" ] ~docv:"R" ~doc:"Matching ratio in (0,1]; smaller = slower coarsening, more levels.")
+
+let threshold_arg =
+  Arg.(value & opt int 35
+       & info [ "t"; "threshold" ] ~docv:"T" ~doc:"Coarsening stops below this module count.")
+
+let tolerance_arg =
+  Arg.(value & opt float 0.1
+       & info [ "tolerance" ] ~docv:"R" ~doc:"Balance tolerance r (paper uses 0.1).")
+
+let engine_arg =
+  let parse = function
+    | "fm" -> Ok `Fm
+    | "clip" -> Ok `Clip
+    | "flat-fm" -> Ok `Flat_fm
+    | "flat-clip" -> Ok `Flat_clip
+    | "eig" -> Ok `Eig
+    | "eig-fm" -> Ok `Eig_fm
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | `Fm -> "fm"
+      | `Clip -> "clip"
+      | `Flat_fm -> "flat-fm"
+      | `Flat_clip -> "flat-clip"
+      | `Eig -> "eig"
+      | `Eig_fm -> "eig-fm")
+  in
+  Arg.(value & opt (conv (parse, print)) `Clip
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Refinement engine: clip (default), fm, flat-fm/flat-clip to \
+                 skip the multilevel hierarchy, or eig/eig-fm for spectral \
+                 bisection.")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the part of each module (one integer per line).")
+
+let write_assignment out side =
+  match out with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Array.iter (fun s -> Printf.fprintf oc "%d\n" s) side)
+
+let bipartition_cmd =
+  let run input seed runs ratio threshold tolerance engine out =
+    let h = load_hypergraph input seed in
+    let rng = Rng.create seed in
+    let fm_config base = { base with Fm.tolerance } in
+    let one rng =
+      match engine with
+      | `Flat_fm ->
+          let r = Fm.run ~config:(fm_config Fm.default) rng h in
+          (r.Fm.side, r.Fm.cut)
+      | `Flat_clip ->
+          let r = Fm.run ~config:(fm_config Fm.clip) rng h in
+          (r.Fm.side, r.Fm.cut)
+      | `Eig ->
+          let r = Mlpart_placement.Spectral.run h in
+          (r.Mlpart_placement.Spectral.side, r.Mlpart_placement.Spectral.cut)
+      | `Eig_fm ->
+          let r =
+            Mlpart_placement.Spectral.run
+              ~config:Mlpart_placement.Spectral.eig_fm h
+          in
+          (r.Mlpart_placement.Spectral.side, r.Mlpart_placement.Spectral.cut)
+      | `Fm | `Clip ->
+          let base = if engine = `Fm then Ml.mlf else Ml.mlc in
+          let config =
+            { base with Ml.ratio; threshold;
+              engine = fm_config base.Ml.engine }
+          in
+          let r = Ml.run ~config rng h in
+          (r.Ml.side, r.Ml.cut)
+    in
+    let best = ref None in
+    for _ = 1 to Stdlib.max 1 runs do
+      let side, cut = one (Rng.split rng) in
+      match !best with
+      | Some (_, c) when c <= cut -> ()
+      | Some _ | None -> best := Some (side, cut)
+    done;
+    (match !best with
+    | Some (side, cut) ->
+        let areas = [| 0; 0 |] in
+        Array.iteri (fun v s -> areas.(s) <- areas.(s) + H.area h v) side;
+        Printf.printf "%s: cut %d  |X|=%d |Y|=%d (areas %d/%d)\n"
+          (H.name h) cut
+          (Array.fold_left (fun acc s -> acc + (1 - s)) 0 side)
+          (Array.fold_left ( + ) 0 side)
+          areas.(0) areas.(1);
+        write_assignment out side
+    | None -> ())
+  in
+  let term =
+    Term.(const run $ input_arg $ seed_arg $ runs_arg $ ratio_arg
+          $ threshold_arg $ tolerance_arg $ engine_arg $ out_arg)
+  in
+  Cmd.v (Cmd.info "bipartition" ~doc:"Min-cut 2-way partitioning (ML algorithm).") term
+
+let quadrisect_cmd =
+  let run input seed runs ratio tolerance gordian out =
+    let h = load_hypergraph input seed in
+    let rng = Rng.create seed in
+    if gordian then begin
+      let r = Mlpart_placement.Gordian.run h in
+      Printf.printf "%s: GORDIAN 4-way cut %d, hpwl %.3f\n" (H.name h)
+        r.Mlpart_placement.Gordian.cut r.Mlpart_placement.Gordian.hpwl;
+      write_assignment out r.Mlpart_placement.Gordian.side
+    end
+    else begin
+      let module MLW = Mlpart_multilevel.Ml_multiway in
+      let config =
+        { MLW.default with
+          MLW.ratio;
+          engine = { Mlpart_partition.Multiway.default with tolerance } }
+      in
+      let best = ref None in
+      for _ = 1 to Stdlib.max 1 runs do
+        let r = MLW.run ~config (Rng.split rng) h ~k:4 in
+        match !best with
+        | Some (_, c) when c <= r.MLW.cut -> ()
+        | Some _ | None -> best := Some (r.MLW.side, r.MLW.cut)
+      done;
+      match !best with
+      | Some (side, cut) ->
+          Printf.printf "%s: ML 4-way cut %d\n" (H.name h) cut;
+          write_assignment out side
+      | None -> ()
+    end
+  in
+  let gordian_arg =
+    Arg.(value & flag
+         & info [ "gordian" ]
+             ~doc:"Use the GORDIAN-style analytic placement baseline instead \
+                   of multilevel partitioning.")
+  in
+  let term =
+    Term.(const run $ input_arg $ seed_arg $ runs_arg $ ratio_arg
+          $ tolerance_arg $ gordian_arg $ out_arg)
+  in
+  Cmd.v (Cmd.info "quadrisect" ~doc:"4-way partitioning.") term
+
+let place_cmd =
+  let run input seed leaf terminal out svg =
+    let h = load_hypergraph input seed in
+    let module T = Mlpart_placement.Topdown in
+    let terminal_model =
+      if terminal then T.Propagate_to_quadrant else T.Ignore_external
+    in
+    let config = { T.default with T.leaf_size = leaf; terminal_model } in
+    let r = T.run ~config (Rng.create seed) h in
+    Printf.printf "%s: top-down placement hpwl %.3f (%d quadrisection calls)\n"
+      (H.name h) r.T.hpwl r.T.regions;
+    (match out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Array.iteri
+              (fun v x -> Printf.fprintf oc "%d %.6f %.6f\n" v x r.T.y.(v))
+              r.T.x));
+    match svg with
+    | None -> ()
+    | Some path ->
+        let quad = Mlpart_placement.Gordian.quadrants_of_placement h ~x:r.T.x ~y:r.T.y in
+        Mlpart_placement.Svg.write ~side:quad path h ~x:r.T.x ~y:r.T.y;
+        Printf.printf "wrote %s\n" path
+  in
+  let leaf_arg =
+    Arg.(value & opt int 12
+         & info [ "leaf" ] ~docv:"N" ~doc:"Stop recursing below N modules.")
+  in
+  let terminal_arg =
+    Arg.(value & opt bool true
+         & info [ "terminal-propagation" ] ~docv:"BOOL"
+             ~doc:"Propagate external pins as fixed quadrant terminals.")
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Render the placement as SVG.")
+  in
+  let term =
+    Term.(const run $ input_arg $ seed_arg $ leaf_arg $ terminal_arg $ out_arg
+          $ svg_arg)
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:"Top-down global placement by recursive ML quadrisection.")
+    term
+
+let generate_cmd =
+  let run circuit seed out =
+    let spec =
+      match Mlpart_gen.Suite.find circuit with
+      | spec -> spec
+      | exception Not_found ->
+          Printf.eprintf "unknown benchmark %S\n" circuit;
+          exit 2
+    in
+    let h = Mlpart_gen.Suite.instantiate ~seed spec in
+    match out with
+    | Some path -> Hgr_io.write_file path h
+    | None -> print_string (Hgr_io.to_string h)
+  in
+  let circuit_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"CIRCUIT" ~doc:"Table I circuit name (e.g. balu).")
+  in
+  let term = Term.(const run $ circuit_arg $ seed_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Emit a synthetic Table I stand-in circuit in .hgr format.")
+    term
+
+let evaluate_cmd =
+  let run input seed parts_path =
+    let h = load_hypergraph input seed in
+    let side = Mlpart_partition.Objective.read_assignment parts_path in
+    let report = Mlpart_partition.Objective.evaluate h side in
+    Format.printf "%a@?" Mlpart_partition.Objective.pp report
+  in
+  let parts_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"PARTS" ~doc:"Assignment file: one part id per line.")
+  in
+  let term = Term.(const run $ input_arg $ seed_arg $ parts_arg) in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Score a saved part assignment (cut, SOED, areas).")
+    term
+
+let info_cmd =
+  let run input seed =
+    let h = load_hypergraph input seed in
+    Format.printf "%a@?" Mlpart_hypergraph.Analysis.pp_report h;
+    Printf.printf "total area      %d\n" (H.total_area h);
+    Printf.printf "max module area %d\n" (H.max_area h)
+  in
+  let term = Term.(const run $ input_arg $ seed_arg) in
+  Cmd.v (Cmd.info "info" ~doc:"Print hypergraph statistics.") term
+
+let setup_logging () =
+  match Sys.getenv_opt "MLPART_VERBOSE" with
+  | Some ("1" | "true" | "debug") ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+  | Some _ | None -> ()
+
+let () =
+  setup_logging ();
+  let doc = "multilevel circuit partitioning (Alpert-Huang-Kahng, DAC 1997)" in
+  let main = Cmd.group (Cmd.info "mlpart" ~doc)
+      [ bipartition_cmd; quadrisect_cmd; place_cmd; generate_cmd;
+        evaluate_cmd; info_cmd ]
+  in
+  exit (Cmd.eval main)

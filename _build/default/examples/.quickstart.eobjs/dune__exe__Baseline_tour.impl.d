@@ -1,0 +1,1 @@
+examples/baseline_tour.ml: Array Format List Mlpart_experiments Mlpart_gen Mlpart_hypergraph Mlpart_util Printf Sys

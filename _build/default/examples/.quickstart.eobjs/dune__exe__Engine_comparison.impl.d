@@ -1,0 +1,1 @@
+examples/engine_comparison.ml: Array Format List Mlpart_gen Mlpart_hypergraph Mlpart_multilevel Mlpart_partition Mlpart_util Printf Sys

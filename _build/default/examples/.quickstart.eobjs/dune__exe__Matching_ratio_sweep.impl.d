@@ -1,0 +1,1 @@
+examples/matching_ratio_sweep.ml: Array Format List Mlpart_gen Mlpart_hypergraph Mlpart_multilevel Mlpart_util Printf Sys

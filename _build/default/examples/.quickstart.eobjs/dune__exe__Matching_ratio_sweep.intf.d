@@ -1,0 +1,1 @@
+examples/matching_ratio_sweep.mli:

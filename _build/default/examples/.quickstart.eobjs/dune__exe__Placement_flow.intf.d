@@ -1,0 +1,1 @@
+examples/placement_flow.mli:

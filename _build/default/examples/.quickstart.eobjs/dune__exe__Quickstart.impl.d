@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Fun Mlpart_hypergraph Mlpart_multilevel Mlpart_util

@@ -1,0 +1,1 @@
+lib/experiments/algos.ml: Array Mlpart_hypergraph Mlpart_multilevel Mlpart_partition Mlpart_placement Mlpart_util Printf Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/algos.mli: Mlpart_hypergraph Mlpart_util

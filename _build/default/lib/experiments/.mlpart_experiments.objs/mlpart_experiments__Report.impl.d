@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Algos Array Domain List Mlpart_hypergraph Mlpart_partition Mlpart_util Printf Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Algos Format List Mlpart_gen Mlpart_hypergraph Mlpart_multilevel Mlpart_partition Mlpart_util Paper Printf Report Stdlib

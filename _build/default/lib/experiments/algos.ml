@@ -1,0 +1,199 @@
+module Rng = Mlpart_util.Rng
+module H = Mlpart_hypergraph.Hypergraph
+module Fm = Mlpart_partition.Fm
+module Prop = Mlpart_partition.Prop
+module Lsmc = Mlpart_partition.Lsmc
+module Multiway = Mlpart_partition.Multiway
+module Ml = Mlpart_multilevel.Ml
+module Ml_multiway = Mlpart_multilevel.Ml_multiway
+module Gordian = Mlpart_placement.Gordian
+
+type bipartitioner = {
+  name : string;
+  run : Rng.t -> H.t -> int array * int;
+}
+
+let of_fm name config =
+  { name; run = (fun rng h -> let r = Fm.run ~config rng h in (r.Fm.side, r.Fm.cut)) }
+
+let fm = of_fm "FM" Fm.default
+let fm_fifo = of_fm "FM-fifo" { Fm.default with policy = Mlpart_partition.Gain_bucket.Fifo }
+
+let fm_random =
+  of_fm "FM-rnd" { Fm.default with policy = Mlpart_partition.Gain_bucket.Random }
+
+let clip = of_fm "CLIP" Fm.clip
+
+let ml name config =
+  {
+    name;
+    run = (fun rng h -> let r = Ml.run ~config rng h in (r.Ml.side, r.Ml.cut));
+  }
+
+let mlf r = ml (Printf.sprintf "MLf(%.2g)" r) (Ml.with_ratio Ml.mlf r)
+let mlc r = ml (Printf.sprintf "MLc(%.2g)" r) (Ml.with_ratio Ml.mlc r)
+
+(* The "f" subscript of Table VII: a final plain-FM refinement run after the
+   main algorithm terminates. *)
+let fm_refined name main =
+  {
+    name;
+    run =
+      (fun rng h ->
+        let side, _ = main rng h in
+        let r = Fm.run ~init:side rng h in
+        (r.Fm.side, r.Fm.cut));
+  }
+
+let cl_la3f =
+  fm_refined "CL-LA3f" (fun rng h ->
+      let config = { Fm.clip with tie_break = Fm.Lookahead 3 } in
+      let r = Fm.run ~config rng h in
+      (r.Fm.side, r.Fm.cut))
+
+let cd_la3f =
+  fm_refined "CD-LA3f" (fun rng h ->
+      let window = Stdlib.max 16 (H.num_modules h / 50) in
+      let config =
+        { Fm.clip with tie_break = Fm.Lookahead 3; backtrack = Some (window, 8) }
+      in
+      let r = Fm.run ~config rng h in
+      (r.Fm.side, r.Fm.cut))
+
+let cl_prf =
+  fm_refined "CL-PRf" (fun rng h ->
+      let config = { Prop.default with clip = true } in
+      let r = Prop.run ~config rng h in
+      (r.Prop.side, r.Prop.cut))
+
+let lsmc descents =
+  {
+    name = Printf.sprintf "LSMC(%d)" descents;
+    run =
+      (fun rng h ->
+        let config = { Lsmc.default with descents } in
+        let r = Lsmc.run ~config rng h in
+        (r.Lsmc.side, r.Lsmc.cut));
+  }
+
+let eig =
+  {
+    name = "EIG";
+    run =
+      (fun _rng h ->
+        let r = Mlpart_placement.Spectral.run h in
+        (r.Mlpart_placement.Spectral.side, r.Mlpart_placement.Spectral.cut));
+  }
+
+let eig_fm =
+  {
+    name = "EIG+FM";
+    run =
+      (fun _rng h ->
+        let r =
+          Mlpart_placement.Spectral.run
+            ~config:Mlpart_placement.Spectral.eig_fm h
+        in
+        (r.Mlpart_placement.Spectral.side, r.Mlpart_placement.Spectral.cut));
+  }
+
+let ga_fm =
+  {
+    name = "GA-FM";
+    run =
+      (fun rng h ->
+        let r = Mlpart_partition.Genetic.run rng h in
+        (r.Mlpart_partition.Genetic.side, r.Mlpart_partition.Genetic.cut));
+  }
+
+let kl =
+  {
+    name = "KL";
+    run =
+      (fun rng h ->
+        let r = Mlpart_partition.Kl.run rng h in
+        (r.Mlpart_partition.Kl.side, r.Mlpart_partition.Kl.cut));
+  }
+
+let two_phase =
+  ml "2-phase" { Ml.mlc with Ml.max_levels = 1 }
+
+let mlc_vcycles cycles =
+  {
+    name = Printf.sprintf "MLc+%dvc" cycles;
+    run =
+      (fun rng h ->
+        let config = Ml.with_ratio Ml.mlc 0.5 in
+        let r = Ml.run_vcycles ~config ~cycles rng h in
+        (r.Ml.side, r.Ml.cut));
+  }
+
+type quadrisector = {
+  qname : string;
+  qrun : Rng.t -> H.t -> int array * int;
+}
+
+let q_mlf =
+  {
+    qname = "MLf-4way";
+    qrun =
+      (fun rng h ->
+        let r = Ml_multiway.run rng h ~k:4 in
+        (r.Ml_multiway.side, r.Ml_multiway.cut));
+  }
+
+let of_multiway qname config =
+  {
+    qname;
+    qrun =
+      (fun rng h ->
+        let r = Multiway.run ~config rng h ~k:4 in
+        (r.Multiway.side, r.Multiway.cut));
+  }
+
+let q_fm = of_multiway "FM-4way" { Multiway.default with objective = Multiway.Net_cut }
+let q_clip = of_multiway "SOED-4way" Multiway.default
+
+(* 4-way LSMC: kick a random blob to a random part, re-descend, keep the
+   best (temperature 0, kick from best — as in the 2-way version). *)
+let q_lsmc qname config descents =
+  {
+    qname;
+    qrun =
+      (fun rng h ->
+        let descend init =
+          Multiway.run ~config ?init rng h ~k:4
+        in
+        let first = descend None in
+        let best_side = ref first.Multiway.side in
+        let best_cut = ref first.Multiway.cut in
+        let n = H.num_modules h in
+        for _ = 2 to descents do
+          let kicked = Array.copy !best_side in
+          let blob = Stdlib.max 2 (n / 40) in
+          let target = Rng.int rng 4 in
+          for _ = 1 to blob do
+            kicked.(Rng.int rng n) <- target
+          done;
+          let r = descend (Some kicked) in
+          if r.Multiway.cut < !best_cut then begin
+            best_cut := r.Multiway.cut;
+            best_side := r.Multiway.side
+          end
+        done;
+        (!best_side, !best_cut));
+  }
+
+let q_lsmc_f =
+  q_lsmc "LSMCf-4way" { Multiway.default with objective = Multiway.Net_cut } 20
+
+let q_lsmc_c = q_lsmc "LSMCc-4way" Multiway.default 20
+
+let q_gordian =
+  {
+    qname = "GORDIAN";
+    qrun =
+      (fun _rng h ->
+        let r = Gordian.run h in
+        (r.Gordian.side, r.Gordian.cut));
+  }

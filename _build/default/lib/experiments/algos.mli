@@ -1,0 +1,85 @@
+(** Named algorithm wrappers used by the experiment harness.
+
+    Each bipartitioner maps an RNG and a hypergraph to a cut value (plus the
+    side assignment); each quadrisection algorithm does the same for k = 4.
+    The names match the paper's: FM/CLIP (with bucket-policy variants), the
+    ML multilevel family, and the Table VII competitors implemented here. *)
+
+type bipartitioner = {
+  name : string;
+  run :
+    Mlpart_util.Rng.t -> Mlpart_hypergraph.Hypergraph.t -> int array * int;
+      (** returns (side assignment, cut) *)
+}
+
+val fm : bipartitioner
+(** Plain FM, LIFO buckets. *)
+
+val fm_fifo : bipartitioner
+val fm_random : bipartitioner
+val clip : bipartitioner
+
+val mlf : float -> bipartitioner
+(** ML with the FM engine at matching ratio [r]. *)
+
+val mlc : float -> bipartitioner
+(** ML with the CLIP engine at matching ratio [r]. *)
+
+val cl_la3f : bipartitioner
+(** CLIP with level-3 lookahead, followed by an FM refinement run (the
+    [f] subscript of the paper's Table VII). *)
+
+val cd_la3f : bipartitioner
+(** CDIP (CLIP + backtracking) with level-3 lookahead, FM-refined. *)
+
+val cl_prf : bipartitioner
+(** CLIP-flavoured PROP, FM-refined. *)
+
+val lsmc : int -> bipartitioner
+(** LSMC with FM descents; the argument is the number of descents. *)
+
+val eig : bipartitioner
+(** Pure spectral bisection (deterministic). *)
+
+val eig_fm : bipartitioner
+(** Spectral bisection followed by FM refinement. *)
+
+val two_phase : bipartitioner
+(** Classic "two-phase FM": a single Match clustering level, then CLIP —
+    the §II.C baseline the multilevel approach generalises. *)
+
+val ga_fm : bipartitioner
+(** Hybrid genetic/FM (the Bui–Moon-style evolution behind the GMet
+    column's genetic component). *)
+
+val kl : bipartitioner
+(** Kernighan–Lin pair swaps (beam-pruned) — the §I ancestor baseline. *)
+
+val mlc_vcycles : int -> bipartitioner
+(** MLc (R = 0.5) followed by the given number of V-cycles (extension). *)
+
+type quadrisector = {
+  qname : string;
+  qrun :
+    Mlpart_util.Rng.t -> Mlpart_hypergraph.Hypergraph.t -> int array * int;
+}
+
+val q_mlf : quadrisector
+(** Multilevel quadrisection, FM-family engine, R = 1.0, T = 100,
+    sum-of-degrees gain (the paper's Table IX configuration). *)
+
+val q_fm : quadrisector
+(** Flat 4-way FM (Sanchis, net-cut gain). *)
+
+val q_clip : quadrisector
+(** Flat 4-way FM with sum-of-degrees gain (the CLIP-flavoured column). *)
+
+val q_lsmc_f : quadrisector
+(** LSMC over flat 4-way FM: kick the best 4-way solution and re-descend. *)
+
+val q_lsmc_c : quadrisector
+(** LSMC over the sum-of-degrees 4-way engine. *)
+
+val q_gordian : quadrisector
+(** GORDIAN-style analytic quadrisection (deterministic; the RNG is
+    unused). *)

@@ -1,0 +1,372 @@
+(* Transcribed from the paper.  Each table is an association list keyed by
+   circuit name; the row types mirror the published columns. *)
+
+type table2_row = { t2_min : int * int * int; t2_avg : int * int * int }
+
+let table2_data =
+  [
+    ("balu", { t2_min = (27, 75, 27); t2_avg = (39, 107, 39) });
+    ("bm1", { t2_min = (47, 64, 51); t2_avg = (76, 107, 76) });
+    ("primary1", { t2_min = (49, 57, 47); t2_avg = (74, 111, 76) });
+    ("test04", { t2_min = (71, 139, 66); t2_avg = (138, 208, 135) });
+    ("test03", { t2_min = (64, 112, 69); t2_avg = (109, 184, 118) });
+    ("test02", { t2_min = (109, 185, 122); t2_avg = (172, 169, 243) });
+    ("test06", { t2_min = (66, 146, 60); t2_avg = (90, 196, 90) });
+    ("struct", { t2_min = (38, 131, 42); t2_avg = (54, 184, 42) });
+    ("test05", { t2_min = (104, 251, 93); t2_avg = (175, 335, 175) });
+    ("19ks", { t2_min = (121, 261, 120); t2_avg = (175, 332, 180) });
+    ("primary2", { t2_min = (215, 310, 177); t2_avg = (285, 428, 278) });
+    ("s9234", { t2_min = (50, 246, 49); t2_avg = (95, 335, 90) });
+    ("biomed", { t2_min = (83, 392, 83); t2_avg = (134, 445, 130) });
+    ("s13207", { t2_min = (87, 278, 88); t2_avg = (129, 340, 125) });
+    ("s15850", { t2_min = (108, 416, 98); t2_avg = (184, 506, 177) });
+    ("industry2", { t2_min = (319, 667, 304); t2_avg = (623, 1192, 603) });
+    ("industry3", { t2_min = (241, 408, 259); t2_avg = (497, 2225, 491) });
+    ("s35932", { t2_min = (113, 719, 103); t2_avg = (230, 953, 230) });
+    ("s38584", { t2_min = (59, 1474, 54); t2_avg = (251, 1641, 258) });
+    ("avqsmall", { t2_min = (319, 1415, 295); t2_avg = (597, 1667, 624) });
+    ("s38417", { t2_min = (167, 1120, 132); t2_avg = (383, 1194, 381) });
+    ("avqlarge", { t2_min = (262, 1839, 345); t2_avg = (787, 2024, 772) });
+  ]
+
+let table2 name = List.assoc_opt name table2_data
+
+type table3_row = {
+  t3_min : int * int;
+  t3_avg : int * int;
+  t3_cpu : int * int;
+}
+
+let table3_data =
+  [
+    ("balu", { t3_min = (27, 27); t3_avg = (39, 35); t3_cpu = (26, 26) });
+    ("bm1", { t3_min = (47, 47); t3_avg = (76, 63); t3_cpu = (27, 29) });
+    ("primary1", { t3_min = (49, 47); t3_avg = (74, 62); t3_cpu = (27, 30) });
+    (* FM average printed as "38" in the scan; 138 per Table II's LIFO avg *)
+    ("test04", { t3_min = (71, 55); t3_avg = (138, 80); t3_cpu = (45, 63) });
+    ("test03", { t3_min = (64, 57); t3_avg = (109, 74); t3_cpu = (61, 67) });
+    ("test02", { t3_min = (109, 88); t3_avg = (172, 112); t3_cpu = (49, 73) });
+    ("test06", { t3_min = (66, 60); t3_avg = (90, 72); t3_cpu = (61, 65) });
+    ("struct", { t3_min = (38, 34); t3_avg = (54, 46); t3_cpu = (55, 55) });
+    ("test05", { t3_min = (104, 72); t3_avg = (175, 72); t3_cpu = (92, 116) });
+    ("19ks", { t3_min = (121, 110); t3_avg = (175, 151); t3_cpu = (134, 144) });
+    ("primary2", { t3_min = (215, 143); t3_avg = (285, 215); t3_cpu = (142, 168) });
+    ("s9234", { t3_min = (50, 45); t3_avg = (95, 74); t3_cpu = (273, 237) });
+    ("biomed", { t3_min = (83, 84); t3_avg = (134, 109); t3_cpu = (326, 267) });
+    ("s13207", { t3_min = (87, 78); t3_avg = (129, 125); t3_cpu = (423, 370) });
+    ("s15850", { t3_min = (108, 79); t3_avg = (184, 143); t3_cpu = (435, 505) });
+    ("industry2", { t3_min = (319, 203); t3_avg = (623, 342); t3_cpu = (838, 991) });
+    ("industry3", { t3_min = (241, 242); t3_avg = (497, 406); t3_cpu = (974, 1199) });
+    ("s35932", { t3_min = (113, 45); t3_avg = (230, 118); t3_cpu = (1075, 935) });
+    ("s38584", { t3_min = (59, 48); t3_avg = (251, 101); t3_cpu = (1523, 1363) });
+    ("avqsmall", { t3_min = (319, 204); t3_avg = (597, 340); t3_cpu = (1447, 1538) });
+    ("s38417", { t3_min = (167, 72); t3_avg = (383, 140); t3_cpu = (1595, 1423) });
+    ("avqlarge", { t3_min = (262, 224); t3_avg = (787, 352); t3_cpu = (1662, 1896) });
+    ("golem3",
+     { t3_min = (2847, 2276); t3_avg = (3500, 3403); t3_cpu = (38028, 146301) });
+  ]
+
+let table3 name = List.assoc_opt name table3_data
+
+type table4_row = {
+  t4_min : int * int * int;
+  t4_avg : int * int * int;
+  t4_cpu : int * int * int;
+}
+
+let table4_data =
+  [
+    ("balu",
+     { t4_min = (27, 27, 27); t4_avg = (35, 35, 33); t4_cpu = (26, 100, 110) });
+    ("bm1",
+     { t4_min = (47, 47, 47); t4_avg = (63, 57, 55); t4_cpu = (29, 93, 107) });
+    ("primary1",
+     { t4_min = (47, 47, 47); t4_avg = (62, 56, 55); t4_cpu = (30, 93, 106) });
+    ("test04",
+     { t4_min = (55, 48, 48); t4_avg = (80, 64, 56); t4_cpu = (63, 219, 263) });
+    ("test03",
+     { t4_min = (57, 56, 57); t4_avg = (74, 64, 61); t4_cpu = (67, 258, 294) });
+    ("test02",
+     { t4_min = (88, 89, 89); t4_avg = (112, 101, 100); t4_cpu = (73, 243, 288) });
+    ("test06",
+     { t4_min = (60, 60, 60); t4_avg = (72, 77, 71); t4_cpu = (65, 309, 354) });
+    ("struct",
+     { t4_min = (34, 33, 33); t4_avg = (46, 39, 38); t4_cpu = (55, 199, 233) });
+    ("test05",
+     { t4_min = (72, 75, 71); t4_avg = (72, 91, 83); t4_cpu = (116, 386, 459) });
+    ("19ks",
+     { t4_min = (110, 104, 106); t4_avg = (151, 114, 114); t4_cpu = (144, 447, 510) });
+    ("primary2",
+     { t4_min = (143, 139, 139); t4_avg = (215, 158, 156); t4_cpu = (168, 414, 522) });
+    ("s9234",
+     { t4_min = (45, 40, 41); t4_avg = (74, 50, 48); t4_cpu = (237, 542, 582) });
+    ("biomed",
+     { t4_min = (84, 86, 83); t4_avg = (109, 103, 92); t4_cpu = (267, 909, 1036) });
+    ("s13207",
+     { t4_min = (78, 58, 60); t4_avg = (125, 77, 76); t4_cpu = (370, 857, 950) });
+    ("s15850",
+     { t4_min = (79, 43, 43); t4_avg = (143, 63, 59); t4_cpu = (505, 997, 1126) });
+    ("industry2",
+     { t4_min = (203, 168, 174); t4_avg = (342, 213, 197);
+       t4_cpu = (991, 2360, 3015) });
+    ("industry3",
+     { t4_min = (242, 243, 248); t4_avg = (406, 275, 274);
+       t4_cpu = (1199, 2932, 3931) });
+    ("s35932",
+     { t4_min = (45, 41, 40); t4_avg = (118, 46, 46); t4_cpu = (935, 2108, 2351) });
+    ("s38584",
+     { t4_min = (48, 49, 48); t4_avg = (101, 77, 58); t4_cpu = (1363, 2574, 3106) });
+    ("avqsmall",
+     { t4_min = (204, 139, 133); t4_avg = (340, 194, 182);
+       t4_cpu = (1538, 3022, 3811) });
+    ("s38417",
+     { t4_min = (72, 53, 50); t4_avg = (140, 82, 66); t4_cpu = (1423, 2544, 3032) });
+    ("avqlarge",
+     { t4_min = (224, 144, 140); t4_avg = (352, 200, 183);
+       t4_cpu = (1896, 3338, 4230) });
+    ("golem3",
+     { t4_min = (2276, 1663, 1661); t4_avg = (3403, 2026, 2006);
+       t4_cpu = (146301, 48495, 89800) });
+  ]
+
+let table4 name = List.assoc_opt name table4_data
+
+type ratio_row = {
+  r_min : int * int * int;
+  r_avg : int * int * int;
+  r_cpu : int * int * int;
+}
+
+let table5_data =
+  [
+    ("balu", { r_min = (27, 27, 27); r_avg = (35, 32, 30); r_cpu = (100, 166, 234) });
+    ("bm1", { r_min = (47, 47, 47); r_avg = (57, 55, 55); r_cpu = (93, 166, 236) });
+    ("primary1",
+     { r_min = (47, 47, 47); r_avg = (56, 54, 54); r_cpu = (93, 171, 231) });
+    ("test04",
+     { r_min = (48, 48, 48); r_avg = (64, 61, 57); r_cpu = (219, 394, 543) });
+    ("test03",
+     { r_min = (56, 58, 58); r_avg = (64, 61, 61); r_cpu = (258, 543, 625) });
+    ("test02",
+     { r_min = (89, 88, 88); r_avg = (101, 98, 97); r_cpu = (243, 435, 601) });
+    ("test06",
+     { r_min = (60, 60, 60); r_avg = (77, 68, 66); r_cpu = (309, 534, 732) });
+    ("struct",
+     { r_min = (33, 33, 34); r_avg = (39, 37, 38); r_cpu = (199, 346, 493) });
+    ("test05",
+     { r_min = (75, 72, 71); r_avg = (91, 80, 79); r_cpu = (386, 696, 946) });
+    ("19ks",
+     { r_min = (104, 105, 105); r_avg = (114, 118, 116); r_cpu = (447, 783, 1077) });
+    ("primary2",
+     { r_min = (139, 141, 139); r_avg = (158, 161, 157); r_cpu = (414, 771, 1089) });
+    ("s9234",
+     { r_min = (40, 40, 40); r_avg = (50, 47, 47); r_cpu = (542, 939, 1386) });
+    ("biomed",
+     { r_min = (86, 83, 83); r_avg = (103, 96, 94); r_cpu = (909, 1604, 2199) });
+    ("s13207",
+     { r_min = (58, 55, 58); r_avg = (77, 72, 71); r_cpu = (857, 1472, 2150) });
+    ("s15850",
+     { r_min = (43, 43, 42); r_avg = (63, 58, 59); r_cpu = (997, 1793, 2596) });
+    ("industry2",
+     { r_min = (168, 171, 169); r_avg = (213, 207, 207);
+       r_cpu = (2360, 4232, 5885) });
+    ("industry3",
+     { r_min = (243, 243, 241); r_avg = (275, 277, 275);
+       r_cpu = (2932, 5393, 7859) });
+    ("s35932",
+     { r_min = (41, 42, 42); r_avg = (46, 48, 49); r_cpu = (2108, 3978, 5586) });
+    ("s38584",
+     { r_min = (49, 48, 47); r_avg = (77, 56, 57); r_cpu = (2574, 4530, 6535) });
+    ("avqsmall",
+     { r_min = (139, 133, 132); r_avg = (194, 159, 156);
+       r_cpu = (3022, 5184, 7476) });
+    ("s38417",
+     { r_min = (53, 50, 50); r_avg = (82, 72, 68); r_cpu = (2544, 4649, 6536) });
+    ("avqlarge",
+     { r_min = (144, 130, 131); r_avg = (200, 163, 157);
+       r_cpu = (3338, 5799, 8407) });
+    ("golem3",
+     { r_min = (1663, 1348, 1347); r_avg = (2026, 1462, 1421);
+       r_cpu = (48495, 68154, 99124) });
+  ]
+
+let table5 name = List.assoc_opt name table5_data
+
+let table6_data =
+  [
+    ("balu", { r_min = (27, 27, 27); r_avg = (33, 29, 29); r_cpu = (110, 171, 234) });
+    ("bm1", { r_min = (47, 47, 47); r_avg = (55, 55, 54); r_cpu = (107, 177, 248) });
+    ("primary1",
+     { r_min = (47, 47, 47); r_avg = (55, 54, 54); r_cpu = (106, 179, 243) });
+    ("test04",
+     { r_min = (48, 48, 48); r_avg = (66, 56, 55); r_cpu = (263, 414, 561) });
+    ("test03",
+     { r_min = (57, 56, 57); r_avg = (61, 60, 60); r_cpu = (294, 469, 622) });
+    ("test02",
+     { r_min = (89, 89, 88); r_avg = (100, 98, 97); r_cpu = (288, 452, 619) });
+    ("test06",
+     { r_min = (60, 60, 60); r_avg = (71, 65, 65); r_cpu = (354, 546, 720) });
+    ("struct",
+     { r_min = (33, 33, 33); r_avg = (38, 37, 37); r_cpu = (333, 351, 506) });
+    ("test05",
+     { r_min = (71, 71, 71); r_avg = (83, 77, 76); r_cpu = (459, 735, 984) });
+    ("19ks",
+     { r_min = (106, 106, 105); r_avg = (114, 114, 116); r_cpu = (510, 839, 1137) });
+    ("primary2",
+     { r_min = (139, 139, 139); r_avg = (156, 156, 156); r_cpu = (522, 900, 1234) });
+    ("s9234",
+     { r_min = (41, 40, 40); r_avg = (48, 45, 45); r_cpu = (582, 968, 1406) });
+    ("biomed",
+     { r_min = (83, 83, 83); r_avg = (92, 91, 91); r_cpu = (1036, 1723, 2300) });
+    ("s13207",
+     { r_min = (60, 55, 58); r_avg = (76, 71, 68); r_cpu = (950, 1552, 2183) });
+    ("s15850",
+     { r_min = (43, 44, 43); r_avg = (59, 56, 57); r_cpu = (1126, 1894, 2635) });
+    (* avg at R=0.33 printed as "292" in the scan, inconsistent with the
+       neighbouring columns (196); transcribed as printed *)
+    ("industry2",
+     { r_min = (174, 164, 167); r_avg = (197, 196, 292);
+       r_cpu = (3016, 5023, 6893) });
+    ("industry3",
+     { r_min = (248, 243, 244); r_avg = (274, 276, 276);
+       r_cpu = (3932, 6670, 9353) });
+    ("s35932",
+     { r_min = (40, 41, 42); r_avg = (46, 45, 46); r_cpu = (2351, 4266, 5921) });
+    ("s38584",
+     { r_min = (48, 47, 47); r_avg = (58, 52, 52); r_cpu = (3106, 4898, 6814) });
+    ("avqsmall",
+     { r_min = (133, 128, 128); r_avg = (182, 147, 148);
+       r_cpu = (3811, 6031, 8228) });
+    ("s38417",
+     { r_min = (50, 49, 49); r_avg = (66, 56, 56); r_cpu = (3032, 4960, 6782) });
+    ("avqlarge",
+     { r_min = (140, 128, 129); r_avg = (183, 148, 148);
+       r_cpu = (4230, 6657, 9276) });
+    ("golem3",
+     { r_min = (1661, 1346, 1340); r_avg = (2006, 1465, 1413);
+       r_cpu = (89800, 104828, 141704) });
+  ]
+
+let table6 name = List.assoc_opt name table6_data
+
+type table7_row = {
+  mlc100 : int option;
+  mlc10 : int option;
+  gmet : int option;
+  hb : int option;
+  pb : int option;
+  gfm : int option;
+  gfm2 : int option;
+  cl_la3f : int option;
+  cd_la3f : int option;
+  cl_prf : int option;
+  lsmc : int option;
+}
+
+let t7 ?mlc100 ?mlc10 ?gmet ?hb ?pb ?gfm ?gfm2 ?cl ?cd ?pr ?lsmc () =
+  { mlc100; mlc10; gmet; hb; pb; gfm; gfm2; cl_la3f = cl; cd_la3f = cd;
+    cl_prf = pr; lsmc }
+
+let table7_data =
+  [
+    ("balu",
+     t7 ~mlc100:27 ~mlc10:27 ~gmet:41 ~pb:27 ~gfm:28 ~gfm2:27 ~cl:27 ~cd:27
+       ~pr:27 ());
+    ("bm1", t7 ~mlc100:47 ~mlc10:51 ~gmet:48 ~pb:51 ~cl:47 ~cd:47 ~lsmc:49 ());
+    ("primary1",
+     t7 ~mlc100:47 ~mlc10:52 ~gmet:47 ~hb:53 ~pb:47 ~gfm:51 ~gfm2:51 ~cl:47
+       ~cd:51 ~lsmc:49 ());
+    ("test04", t7 ~mlc100:48 ~mlc10:49 ~gmet:49 ~cl:49 ~cd:48 ~pr:52 ~lsmc:69 ());
+    ("test03", t7 ~mlc100:56 ~mlc10:58 ~gmet:62 ~cl:56 ~cd:57 ~pr:57 ~lsmc:63 ());
+    ("test02", t7 ~mlc100:89 ~mlc10:92 ~gmet:95 ~cl:91 ~cd:89 ~pr:87 ~lsmc:102 ());
+    ("test06", t7 ~mlc100:60 ~mlc10:60 ~gmet:94 ~cl:60 ~cd:60 ~pr:60 ~lsmc:60 ());
+    ("struct",
+     t7 ~mlc100:33 ~mlc10:33 ~gmet:33 ~hb:40 ~pb:41 ~gfm:36 ~gfm2:33 ~cl:36
+       ~cd:33 ~lsmc:43 ());
+    ("test05",
+     t7 ~mlc100:71 ~mlc10:72 ~gmet:104 ~cl:80 ~cd:74 ~pr:77 ~lsmc:97 ());
+    ("19ks",
+     t7 ~mlc100:106 ~mlc10:108 ~gmet:106 ~cl:104 ~cd:104 ~pr:104 ~lsmc:123 ());
+    ("primary2",
+     t7 ~mlc100:139 ~mlc10:145 ~gmet:142 ~hb:146 ~pb:139 ~gfm:139 ~gfm2:142
+       ~cl:151 ~cd:152 ~lsmc:163 ());
+    ("s9234",
+     t7 ~mlc100:40 ~mlc10:41 ~gmet:43 ~hb:45 ~pb:74 ~gfm:41 ~gfm2:44 ~cl:45
+       ~cd:44 ~pr:42 ~lsmc:44 ());
+    ("biomed",
+     t7 ~mlc100:83 ~mlc10:84 ~gmet:83 ~pb:135 ~gfm:84 ~gfm2:92 ~cl:83 ~cd:83
+       ~pr:84 ~lsmc:83 ());
+    ("s13207",
+     t7 ~mlc100:55 ~mlc10:55 ~gmet:70 ~hb:62 ~pb:91 ~gfm:66 ~gfm2:61 ~cl:66
+       ~cd:69 ~pr:71 ~lsmc:68 ());
+    ("s15850",
+     t7 ~mlc100:44 ~mlc10:56 ~gmet:53 ~hb:46 ~pb:91 ~gfm:63 ~gfm2:46 ~cl:71
+       ~cd:59 ~pr:56 ~lsmc:91 ());
+    ("industry2",
+     t7 ~mlc100:164 ~mlc10:174 ~gmet:177 ~hb:193 ~pb:211 ~gfm:175 ~cl:200
+       ~cd:182 ~pr:192 ~lsmc:246 ());
+    ("industry3",
+     t7 ~mlc100:243 ~mlc10:243 ~gmet:243 ~pb:267 ~gfm:241 ~gfm2:244 ~cl:260
+       ~cd:243 ~pr:243 ~lsmc:242 ());
+    ("s35932",
+     t7 ~mlc100:41 ~mlc10:42 ~gmet:57 ~hb:46 ~pb:62 ~gfm:41 ~gfm2:44 ~cl:73
+       ~cd:73 ~pr:42 ~lsmc:97 ());
+    ("s38584",
+     t7 ~mlc100:47 ~mlc10:48 ~gmet:53 ~hb:52 ~pb:55 ~gfm:47 ~gfm2:54 ~cl:50
+       ~cd:47 ~pr:51 ~lsmc:51 ());
+    ("avqsmall",
+     t7 ~mlc100:128 ~mlc10:134 ~gmet:144 ~pb:224 ~gfm:129 ~cl:139 ~cd:144
+       ~lsmc:270 ());
+    ("s38417",
+     t7 ~mlc100:49 ~mlc10:50 ~gmet:69 ~pb:49 ~gfm:81 ~gfm2:62 ~cl:70 ~cd:74
+       ~pr:65 ~lsmc:116 ());
+    ("avqlarge",
+     t7 ~mlc100:128 ~mlc10:131 ~gmet:144 ~pb:139 ~gfm:127 ~cl:137 ~cd:143
+       ~lsmc:255 ());
+    ("golem3", t7 ~mlc100:1346 ~mlc10:1374 ~gmet:2111 ~pr:1629 ());
+  ]
+
+let table7 name = List.assoc_opt name table7_data
+
+type table9_row = {
+  t9_mlf_min : int;
+  t9_mlf_avg : int;
+  t9_gordian : int;
+  t9_fm : int;
+  t9_clip : int;
+  t9_lsmc_f : int;
+  t9_lsmc_c : int;
+}
+
+let table9_data =
+  [
+    ("primary1",
+     { t9_mlf_min = 126; t9_mlf_avg = 153; t9_gordian = 157; t9_fm = 135;
+       t9_clip = 169; t9_lsmc_f = 118; t9_lsmc_c = 129 });
+    ("primary2",
+     { t9_mlf_min = 346; t9_mlf_avg = 378; t9_gordian = 502; t9_fm = 591;
+       t9_clip = 535; t9_lsmc_f = 495; t9_lsmc_c = 428 });
+    ("biomed",
+     { t9_mlf_min = 311; t9_mlf_avg = 390; t9_gordian = 479; t9_fm = 933;
+       t9_clip = 697; t9_lsmc_f = 859; t9_lsmc_c = 567 });
+    ("s13207",
+     { t9_mlf_min = 472; t9_mlf_avg = 503; t9_gordian = 590; t9_fm = 653;
+       t9_clip = 819; t9_lsmc_f = 337; t9_lsmc_c = 359 });
+    ("s15850",
+     { t9_mlf_min = 547; t9_mlf_avg = 594; t9_gordian = 678; t9_fm = 774;
+       t9_clip = 958; t9_lsmc_f = 487; t9_lsmc_c = 392 });
+    ("industry2",
+     { t9_mlf_min = 398; t9_mlf_avg = 1369; t9_gordian = 1179; t9_fm = 2200;
+       t9_clip = 1505; t9_lsmc_f = 1695; t9_lsmc_c = 1246 });
+    ("industry3",
+     { t9_mlf_min = 830; t9_mlf_avg = 1049; t9_gordian = 1965; t9_fm = 3005;
+       t9_clip = 2223; t9_lsmc_f = 1605; t9_lsmc_c = 1572 });
+    ("avqsmall",
+     { t9_mlf_min = 408; t9_mlf_avg = 505; t9_gordian = 646; t9_fm = 2877;
+       t9_clip = 1728; t9_lsmc_f = 2098; t9_lsmc_c = 1324 });
+    ("avqlarge",
+     { t9_mlf_min = 481; t9_mlf_avg = 519; t9_gordian = 661; t9_fm = 3131;
+       t9_clip = 1890; t9_lsmc_f = 2511; t9_lsmc_c = 1435 });
+  ]
+
+let table9 name = List.assoc_opt name table9_data

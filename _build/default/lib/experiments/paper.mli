@@ -1,0 +1,71 @@
+(** Published numbers from the paper's tables, used as reference columns in
+    the reproduction reports.
+
+    Values are transcribed from the DAC-97/TCAD text; a few cells in the
+    source scan are visibly corrupted by OCR — those are noted in
+    EXPERIMENTS.md and transcribed at the most plausible reading.  Lookup is
+    by circuit name; [None] means the paper leaves the cell blank (or the
+    circuit is absent from that table). *)
+
+type table2_row = {
+  t2_min : int * int * int;  (** LIFO, FIFO, RND minimum cut, 100 runs *)
+  t2_avg : int * int * int;  (** LIFO, FIFO, RND average cut *)
+}
+
+val table2 : string -> table2_row option
+
+type table3_row = {
+  t3_min : int * int;  (** FM, CLIP *)
+  t3_avg : int * int;
+  t3_cpu : int * int;  (** Sun Sparc 5 seconds, 100 runs *)
+}
+
+val table3 : string -> table3_row option
+
+type table4_row = {
+  t4_min : int * int * int;  (** CLIP, MLf, MLc (R = 1) *)
+  t4_avg : int * int * int;
+  t4_cpu : int * int * int;
+}
+
+val table4 : string -> table4_row option
+
+type ratio_row = {
+  r_min : int * int * int;  (** R = 1.0, 0.5, 0.33 *)
+  r_avg : int * int * int;
+  r_cpu : int * int * int;
+}
+
+val table5 : string -> ratio_row option
+(** MLf at the three matching ratios. *)
+
+val table6 : string -> ratio_row option
+(** MLc at the three matching ratios. *)
+
+type table7_row = {
+  mlc100 : int option;
+  mlc10 : int option;
+  gmet : int option;
+  hb : int option;
+  pb : int option;
+  gfm : int option;
+  gfm2 : int option;
+  cl_la3f : int option;
+  cd_la3f : int option;
+  cl_prf : int option;
+  lsmc : int option;
+}
+
+val table7 : string -> table7_row option
+
+type table9_row = {
+  t9_mlf_min : int;
+  t9_mlf_avg : int;
+  t9_gordian : int;
+  t9_fm : int;
+  t9_clip : int;
+  t9_lsmc_f : int;
+  t9_lsmc_c : int;
+}
+
+val table9 : string -> table9_row option

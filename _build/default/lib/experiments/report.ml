@@ -1,0 +1,66 @@
+module Rng = Mlpart_util.Rng
+module Stats = Mlpart_util.Stats
+module H = Mlpart_hypergraph.Hypergraph
+
+type measurement = {
+  min_cut : int;
+  avg_cut : float;
+  std_cut : float;
+  cpu : float;
+  runs : int;
+}
+
+(* Per-run generators are pre-split from the master seed so results do not
+   depend on how the runs are scheduled across domains. *)
+let measure_generic ?(jobs = 1) ~runs ~seed h run verify =
+  let master = Rng.create seed in
+  let rngs = Array.init runs (fun _ -> Rng.split master) in
+  let one rng =
+    let side, cut = run rng h in
+    assert (verify h side = cut);
+    cut
+  in
+  let start = Mlpart_util.Timer.now () in
+  let cuts =
+    if jobs <= 1 || runs <= 1 then Array.map one rngs
+    else begin
+      let jobs = Stdlib.min jobs runs in
+      let domains =
+        List.init jobs (fun j ->
+            Domain.spawn (fun () ->
+                (* stride partitioning of the run indices *)
+                let mine = ref [] in
+                let i = ref j in
+                while !i < runs do
+                  mine := (!i, one rngs.(!i)) :: !mine;
+                  i := !i + jobs
+                done;
+                !mine))
+      in
+      let out = Array.make runs 0 in
+      List.iter
+        (fun d -> List.iter (fun (i, cut) -> out.(i) <- cut) (Domain.join d))
+        domains;
+      out
+    end
+  in
+  let cpu = Mlpart_util.Timer.now () -. start in
+  let stats = Stats.create () in
+  Array.iter (fun cut -> Stats.add stats (float_of_int cut)) cuts;
+  {
+    min_cut = int_of_float (Stats.min stats);
+    avg_cut = Stats.mean stats;
+    std_cut = Stats.stddev stats;
+    cpu;
+    runs;
+  }
+
+let measure ?jobs ~runs ~seed h (algo : Algos.bipartitioner) =
+  measure_generic ?jobs ~runs ~seed h algo.Algos.run Mlpart_partition.Fm.cut_of
+
+let measure_quad ?jobs ~runs ~seed h (algo : Algos.quadrisector) =
+  measure_generic ?jobs ~runs ~seed h algo.Algos.qrun
+    (Mlpart_partition.Multiway.cut_of ~k:4)
+
+let cell = function None -> "-" | Some v -> string_of_int v
+let fcell = function None -> "-" | Some v -> Printf.sprintf "%.1f" v

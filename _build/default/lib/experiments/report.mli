@@ -1,0 +1,40 @@
+(** Measurement harness: repeated runs, aggregated the way the paper's
+    tables report them (min cut, average cut, standard deviation, total CPU
+    seconds). *)
+
+type measurement = {
+  min_cut : int;
+  avg_cut : float;
+  std_cut : float;
+  cpu : float;  (** total processor seconds over all runs *)
+  runs : int;
+}
+
+val measure :
+  ?jobs:int ->
+  runs:int ->
+  seed:int ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  Algos.bipartitioner ->
+  measurement
+(** Run a bipartitioner [runs] times with independent generators derived
+    from [seed]; every run's cut is verified against a from-scratch
+    recount.  [jobs > 1] spreads the runs over that many domains (OCaml 5
+    parallelism); the per-run generators are pre-split from [seed] first,
+    so the statistics are identical for any job count.  The [cpu] field
+    stays the summed processor time. *)
+
+val measure_quad :
+  ?jobs:int ->
+  runs:int ->
+  seed:int ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  Algos.quadrisector ->
+  measurement
+(** Same for 4-way algorithms. *)
+
+val cell : int option -> string
+(** Render an optional published value ("-" when the paper leaves the cell
+    blank). *)
+
+val fcell : float option -> string

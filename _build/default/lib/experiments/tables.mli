@@ -1,0 +1,67 @@
+(** Reproduction runners: one per table/figure of the paper's evaluation.
+
+    Each runner prints the reproduced table with the paper's published
+    values alongside the measured ones.  The published protocol (100 runs,
+    23 circuits, one of them 103k modules) takes CPU-days, so runners take a
+    {!protocol} that scales the run count and circuit tier; EXPERIMENTS.md
+    records the shape comparison. *)
+
+type protocol = {
+  runs : int;  (** runs per (circuit, algorithm) pair *)
+  seed : int;
+  tier : Mlpart_gen.Suite.tier;  (** which circuits to include *)
+  jobs : int;  (** domains used to parallelise the runs (default 1) *)
+}
+
+val default_protocol : protocol
+(** 5 runs, seed 1, [Small] tier (12 circuits up to ~3k modules), 1 job. *)
+
+val table1 : protocol -> unit
+(** Benchmark characteristics: published vs generated counts. *)
+
+val table2 : protocol -> unit
+(** FM with LIFO / FIFO / Random gain buckets. *)
+
+val table3 : protocol -> unit
+(** FM vs CLIP, with CPU time. *)
+
+val table4 : protocol -> unit
+(** CLIP vs MLf vs MLc at R = 1. *)
+
+val table5 : protocol -> unit
+(** MLf at R = 1.0 / 0.5 / 0.33. *)
+
+val table6 : protocol -> unit
+(** MLc at R = 1.0 / 0.5 / 0.33. *)
+
+val table7 : protocol -> unit
+(** MLc vs the implemented Table VII competitors (CL-LA3f, CD-LA3f, CL-PRf,
+    LSMC), with the paper's published columns for all nine. *)
+
+val table8 : protocol -> unit
+(** CPU comparison across the same algorithms. *)
+
+val table9 : protocol -> unit
+(** Quadrisection: multilevel vs GORDIAN-style vs flat 4-way engines. *)
+
+val figure4 : protocol -> unit
+(** Average cut as a function of the matching ratio R (the tier's two
+    largest circuits stand in for avqsmall/avqlarge). *)
+
+val ablations : protocol -> unit
+(** Design-choice ablations DESIGN.md calls out: duplicate-net merging at
+    Induce, balance-slack width, early pass exit, boundary FM, and
+    multi-start coarsest partitioning. *)
+
+val recursive : protocol -> unit
+(** Recursive bisection (2-way ML applied log k times) vs the paper's
+    direct multilevel k-way engine, for k = 4 and 8, under both the
+    net-cut and sum-of-degrees objectives. *)
+
+val extras : protocol -> unit
+(** Beyond the paper's tables: spectral bisection (EIG, EIG+FM), classic
+    two-phase clustering+FM, and iterated V-cycles, against MLc — isolating
+    how much of the win comes from having {e many} levels. *)
+
+val all : protocol -> unit
+(** Every table and figure in order. *)

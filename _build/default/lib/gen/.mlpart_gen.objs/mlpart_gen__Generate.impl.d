@@ -1,0 +1,1 @@
+lib/gen/generate.ml: Hashtbl List Mlpart_hypergraph Mlpart_util Stdlib

@@ -1,0 +1,1 @@
+lib/gen/generate.mli: Mlpart_hypergraph Mlpart_util

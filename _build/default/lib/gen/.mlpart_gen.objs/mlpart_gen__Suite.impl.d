@@ -1,0 +1,1 @@
+lib/gen/suite.ml: Char Format Generate List Mlpart_hypergraph Mlpart_util String

@@ -1,0 +1,130 @@
+module Rng = Mlpart_util.Rng
+module Hypergraph = Mlpart_hypergraph.Hypergraph
+module Builder = Mlpart_hypergraph.Builder
+
+(* Net sizes are drawn as 2 + geometric(p) capped at [max_net_size]; [p] is
+   calibrated so the expected size matches [pins / nets]. *)
+let draw_net_size rng ~mean ~max_net_size =
+  let excess = Stdlib.max 0.0 (mean -. 2.0) in
+  if excess <= 0.0 then 2
+  else begin
+    (* Geometric with mean [excess]: success probability 1/(1+excess). *)
+    let p = 1.0 /. (1.0 +. excess) in
+    let rec draw acc =
+      if acc >= max_net_size - 2 then acc
+      else if Rng.float rng 1.0 < p then acc
+      else draw (acc + 1)
+    in
+    2 + draw 0
+  end
+
+(* Choose [k] distinct modules in [lo, hi) by rejection; the block is always
+   comfortably larger than [k]. *)
+let draw_pins rng ~lo ~hi k =
+  let span = hi - lo in
+  let chosen = Hashtbl.create (2 * k) in
+  let rec fill acc remaining guard =
+    if remaining = 0 || guard = 0 then acc
+    else
+      let v = lo + Rng.int rng span in
+      if Hashtbl.mem chosen v then fill acc remaining (guard - 1)
+      else begin
+        Hashtbl.add chosen v ();
+        fill (v :: acc) (remaining - 1) (guard - 1)
+      end
+  in
+  fill [] (Stdlib.min k span) (64 * k)
+
+let rent ?(name = "rent") ?(locality = 0.82) ?(max_net_size = 24) ~rng ~modules
+    ~nets ~pins () =
+  if modules < 4 then invalid_arg "Generate.rent: modules < 4";
+  if nets < 1 then invalid_arg "Generate.rent: nets < 1";
+  if pins < 2 * nets then invalid_arg "Generate.rent: pins < 2 * nets";
+  if not (locality >= 0.0 && locality < 1.0) then
+    invalid_arg "Generate.rent: locality outside [0, 1)";
+  let mean = float_of_int pins /. float_of_int nets in
+  let builder = Builder.create ~name () in
+  Builder.add_modules builder modules;
+  (* A net's home block: start from the whole range and descend into a
+     random half with probability [locality] at each step, stopping when the
+     block is too small to host the net comfortably. *)
+  let choose_block size =
+    let rec descend lo hi =
+      let span = hi - lo in
+      if span <= Stdlib.max (4 * size) 8 then (lo, hi)
+      else if Rng.float rng 1.0 < locality then
+        let mid = lo + (span / 2) in
+        if Rng.bool rng then descend lo mid else descend mid hi
+      else (lo, hi)
+    in
+    descend 0 modules
+  in
+  for _ = 1 to nets do
+    let size = draw_net_size rng ~mean ~max_net_size in
+    let lo, hi = choose_block size in
+    Builder.add_net builder (draw_pins rng ~lo ~hi size)
+  done;
+  Builder.build builder
+
+let random ?(name = "random") ?(max_net_size = 24) ~rng ~modules ~nets ~pins () =
+  if modules < 4 then invalid_arg "Generate.random: modules < 4";
+  if nets < 1 then invalid_arg "Generate.random: nets < 1";
+  if pins < 2 * nets then invalid_arg "Generate.random: pins < 2 * nets";
+  let mean = float_of_int pins /. float_of_int nets in
+  let builder = Builder.create ~name () in
+  Builder.add_modules builder modules;
+  for _ = 1 to nets do
+    let size = draw_net_size rng ~mean ~max_net_size in
+    Builder.add_net builder (draw_pins rng ~lo:0 ~hi:modules size)
+  done;
+  Builder.build builder
+
+let ring ?(name = "ring") n =
+  if n < 3 then invalid_arg "Generate.ring: n < 3";
+  let builder = Builder.create ~name () in
+  Builder.add_modules builder n;
+  for v = 0 to n - 1 do
+    Builder.add_net builder [ v; (v + 1) mod n ]
+  done;
+  Builder.build builder
+
+let grid ?(name = "grid") rows cols =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Generate.grid: degenerate dimensions";
+  let builder = Builder.create ~name () in
+  Builder.add_modules builder (rows * cols);
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Builder.add_net builder [ id r c; id r (c + 1) ];
+      if r + 1 < rows then Builder.add_net builder [ id r c; id (r + 1) c ]
+    done
+  done;
+  Builder.build builder
+
+let clique ?(name = "clique") n =
+  if n < 2 then invalid_arg "Generate.clique: n < 2";
+  let builder = Builder.create ~name () in
+  Builder.add_modules builder n;
+  for v = 0 to n - 1 do
+    for w = v + 1 to n - 1 do
+      Builder.add_net builder [ v; w ]
+    done
+  done;
+  Builder.build builder
+
+let caterpillar ?(name = "caterpillar") ~spine ~legs () =
+  if spine < 2 || legs < 0 then invalid_arg "Generate.caterpillar: bad shape";
+  let builder = Builder.create ~name () in
+  Builder.add_modules builder (spine * (1 + legs));
+  (* Module layout: spine module s is at index s * (1 + legs); its legs
+     follow immediately. *)
+  let spine_id s = s * (1 + legs) in
+  for s = 0 to spine - 2 do
+    let members =
+      spine_id s :: spine_id (s + 1)
+      :: List.init legs (fun leg -> spine_id s + 1 + leg)
+    in
+    Builder.add_net builder members
+  done;
+  Builder.build builder

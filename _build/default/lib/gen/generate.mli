@@ -1,0 +1,64 @@
+(** Synthetic netlist generators.
+
+    The ACM/SIGDA benchmark circuits used by the paper are not distributable
+    here, so experiments run on synthetic netlists.  The central generator,
+    {!rent}, produces hierarchically clustered hypergraphs in the spirit of
+    Rent's rule: the module index range is split recursively into a binary
+    block tree and each net is drawn from a block chosen with a locality
+    bias, so most nets are short-range and good small-cut bipartitions exist
+    along block boundaries — exactly the structure that multilevel
+    partitioners exploit on real circuits.
+
+    Simple structured generators ([ring], [grid], [clique]) support tests
+    with analytically known optimal cuts. *)
+
+val rent :
+  ?name:string ->
+  ?locality:float ->
+  ?max_net_size:int ->
+  rng:Mlpart_util.Rng.t ->
+  modules:int ->
+  nets:int ->
+  pins:int ->
+  unit ->
+  Mlpart_hypergraph.Hypergraph.t
+(** [rent ~rng ~modules ~nets ~pins ()] generates a hypergraph with exactly
+    [modules] unit-area modules and approximately [nets] nets totalling
+    approximately [pins] pins (nets that collapse to a single distinct pin
+    are dropped, so realised counts can be slightly lower).
+
+    [locality] in [0, 1) is the per-level probability of *staying* at a
+    deeper (smaller) block when choosing a net's home block; higher values
+    produce more local netlists with smaller optimal cuts.  Default [0.82].
+    [max_net_size] caps net sizes (default 24).
+
+    @raise Invalid_argument when [modules < 4], [nets < 1] or
+    [pins < 2 * nets]. *)
+
+val random :
+  ?name:string ->
+  ?max_net_size:int ->
+  rng:Mlpart_util.Rng.t ->
+  modules:int ->
+  nets:int ->
+  pins:int ->
+  unit ->
+  Mlpart_hypergraph.Hypergraph.t
+(** Like {!rent} with no locality structure: pins are drawn uniformly from
+    all modules.  Used as an unstructured control in tests and ablations. *)
+
+val ring : ?name:string -> int -> Mlpart_hypergraph.Hypergraph.t
+(** [ring n] is a cycle of [n >= 3] two-pin nets; any contiguous
+    bipartition has cut 2. *)
+
+val grid : ?name:string -> int -> int -> Mlpart_hypergraph.Hypergraph.t
+(** [grid rows cols] is a 2-D mesh of two-pin nets. *)
+
+val clique : ?name:string -> int -> Mlpart_hypergraph.Hypergraph.t
+(** [clique n] has one two-pin net per module pair. *)
+
+val caterpillar :
+  ?name:string -> spine:int -> legs:int -> unit -> Mlpart_hypergraph.Hypergraph.t
+(** A spine path of multi-pin nets: each spine position contributes one net
+    joining it, its successor and [legs] private leaf modules.  Gives
+    hypergraphs with nets of size [legs + 2] and known small cuts. *)

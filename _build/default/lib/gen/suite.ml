@@ -1,0 +1,85 @@
+module Hypergraph = Mlpart_hypergraph.Hypergraph
+type spec = { circuit : string; modules : int; nets : int; pins : int }
+
+(* Table I of the paper. *)
+let all =
+  [
+    { circuit = "balu"; modules = 801; nets = 735; pins = 2697 };
+    { circuit = "bm1"; modules = 882; nets = 903; pins = 2910 };
+    { circuit = "primary1"; modules = 833; nets = 902; pins = 2908 };
+    { circuit = "test04"; modules = 1515; nets = 1658; pins = 5975 };
+    { circuit = "test03"; modules = 1607; nets = 1618; pins = 5807 };
+    { circuit = "test02"; modules = 1663; nets = 1720; pins = 6134 };
+    { circuit = "test06"; modules = 1752; nets = 1541; pins = 6638 };
+    { circuit = "struct"; modules = 1952; nets = 1920; pins = 5471 };
+    { circuit = "test05"; modules = 2595; nets = 2750; pins = 10076 };
+    { circuit = "19ks"; modules = 2844; nets = 3282; pins = 10547 };
+    { circuit = "primary2"; modules = 3014; nets = 3029; pins = 11219 };
+    { circuit = "s9234"; modules = 5866; nets = 5844; pins = 14065 };
+    { circuit = "biomed"; modules = 6514; nets = 5742; pins = 21040 };
+    { circuit = "s13207"; modules = 8772; nets = 8651; pins = 20606 };
+    { circuit = "s15850"; modules = 10470; nets = 10383; pins = 24712 };
+    { circuit = "industry2"; modules = 12637; nets = 13419; pins = 48404 };
+    { circuit = "industry3"; modules = 15406; nets = 21923; pins = 65792 };
+    { circuit = "s35932"; modules = 18148; nets = 17828; pins = 48145 };
+    { circuit = "s38584"; modules = 20995; nets = 20717; pins = 55203 };
+    { circuit = "avqsmall"; modules = 21918; nets = 22124; pins = 76231 };
+    { circuit = "s38417"; modules = 23849; nets = 23843; pins = 57613 };
+    { circuit = "avqlarge"; modules = 25178; nets = 25384; pins = 82751 };
+    { circuit = "golem3"; modules = 103048; nets = 144949; pins = 338419 };
+  ]
+
+let find circuit =
+  match List.find_opt (fun s -> s.circuit = circuit) all with
+  | Some s -> s
+  | None -> raise Not_found
+
+type tier = Tiny | Small | Standard | Full
+
+let tier_specs = function
+  | Tiny -> List.filteri (fun i _ -> i < 4) all
+  | Small -> List.filter (fun s -> s.modules <= 3100) all
+  | Standard -> List.filter (fun s -> s.modules <= 13000) all
+  | Full -> all
+
+let tier_of_string = function
+  | "tiny" -> Some Tiny
+  | "small" -> Some Small
+  | "standard" -> Some Standard
+  | "full" -> Some Full
+  | _ -> None
+
+(* Stable string hash so circuit identity contributes to the seed without
+   depending on list position. *)
+let hash_name s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (!h * 33) + Char.code c) s;
+  !h land max_int
+
+let instantiate ?(seed = 1) spec =
+  let rng = Mlpart_util.Rng.create (seed + hash_name spec.circuit) in
+  (* Locality 0.9 yields min-cuts in the same range as the published
+     benchmarks (e.g. tens of nets for the ~800-module circuits). *)
+  Generate.rent ~name:spec.circuit ~locality:0.9 ~rng ~modules:spec.modules
+    ~nets:spec.nets ~pins:spec.pins ()
+
+let pp_table1 ppf specs =
+  let rows =
+    List.map
+      (fun s ->
+        let h = instantiate s in
+        [
+          s.circuit;
+          string_of_int s.modules;
+          string_of_int s.nets;
+          string_of_int s.pins;
+          string_of_int (Hypergraph.num_nets h);
+          string_of_int (Hypergraph.num_pins h);
+        ])
+      specs
+  in
+  Format.pp_print_string ppf
+    (Mlpart_util.Tab.render
+       ~header:
+         [ "circuit"; "#modules"; "#nets"; "#pins"; "gen #nets"; "gen #pins" ]
+       rows)

@@ -1,0 +1,39 @@
+(** The benchmark suite mirroring Table I of the paper.
+
+    Each entry records the published module/net/pin counts of one of the 23
+    ACM/SIGDA circuits; {!instantiate} generates a synthetic Rent-rule
+    hypergraph with those counts (see DESIGN.md section 2 for why this
+    substitution preserves the paper's claims). *)
+
+type spec = {
+  circuit : string;  (** published benchmark name *)
+  modules : int;
+  nets : int;
+  pins : int;
+}
+
+val all : spec list
+(** All 23 circuits of Table I, in the paper's (size) order. *)
+
+val find : string -> spec
+(** Lookup by circuit name.  Raises [Not_found]. *)
+
+type tier = Tiny | Small | Standard | Full
+
+val tier_specs : tier -> spec list
+(** [Tiny] – 4 smallest circuits (fast tests);
+    [Small] – circuits up to ~3k modules (12 circuits);
+    [Standard] – circuits up to ~13k modules (16 circuits);
+    [Full] – all 23 including golem3. *)
+
+val tier_of_string : string -> tier option
+
+val instantiate : ?seed:int -> spec -> Mlpart_hypergraph.Hypergraph.t
+(** Deterministically generate the synthetic stand-in for a circuit.  The
+    hypergraph is named after the circuit; the generator seed is derived
+    from [seed] (default 1) and the circuit name, so different circuits get
+    independent structure while remaining reproducible. *)
+
+val pp_table1 : Format.formatter -> spec list -> unit
+(** Render the Table I columns (circuit, #modules, #nets, #pins) together
+    with the realised counts of the synthetic instantiation. *)

@@ -1,0 +1,1 @@
+lib/hypergraph/analysis.ml: Array Format Hashtbl Hypergraph List Option Queue

@@ -1,0 +1,1 @@
+lib/hypergraph/analysis.mli: Format Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/builder.ml: Array Hypergraph List

@@ -1,0 +1,1 @@
+lib/hypergraph/builder.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/hgr_io.ml: Array Buffer Filename Hypergraph In_channel List Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/hypergraph/hgr_io.mli: Hypergraph

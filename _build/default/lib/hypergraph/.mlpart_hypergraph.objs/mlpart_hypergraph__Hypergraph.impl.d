@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.ml: Array Format Hashtbl List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/hypergraph/netd_io.ml: Array Buffer Filename Hashtbl Hypergraph In_channel List Option Printf String

@@ -1,0 +1,1 @@
+lib/hypergraph/netd_io.mli: Hypergraph

@@ -1,0 +1,74 @@
+module H = Hypergraph
+
+(* Breadth-first sweep over the module-net-module adjacency. *)
+let connected_components h =
+  let n = H.num_modules h in
+  let component_of = Array.make n (-1) in
+  let net_seen = Array.make (H.num_nets h) false in
+  let queue = Queue.create () in
+  let count = ref 0 in
+  for start = 0 to n - 1 do
+    if component_of.(start) < 0 then begin
+      let c = !count in
+      incr count;
+      component_of.(start) <- c;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        H.iter_nets_of h v (fun e ->
+            if not net_seen.(e) then begin
+              net_seen.(e) <- true;
+              H.iter_pins_of h e (fun u ->
+                  if component_of.(u) < 0 then begin
+                    component_of.(u) <- c;
+                    Queue.add u queue
+                  end)
+            end)
+      done
+    end
+  done;
+  (component_of, !count)
+
+let is_connected h = snd (connected_components h) <= 1
+
+let histogram values =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace table v (1 + Option.value ~default:0 (Hashtbl.find_opt table v)))
+    values;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort compare
+
+let degree_histogram h =
+  histogram (List.init (H.num_modules h) (fun v -> H.module_degree h v))
+
+let net_size_histogram h =
+  histogram (List.init (H.num_nets h) (fun e -> H.net_size h e))
+
+let average_net_size h =
+  if H.num_nets h = 0 then 0.0
+  else float_of_int (H.num_pins h) /. float_of_int (H.num_nets h)
+
+let pin_count_check h =
+  let from_nets = ref 0 and from_modules = ref 0 in
+  for e = 0 to H.num_nets h - 1 do
+    from_nets := !from_nets + H.net_size h e
+  done;
+  for v = 0 to H.num_modules h - 1 do
+    from_modules := !from_modules + H.module_degree h v
+  done;
+  !from_nets = !from_modules && !from_nets = H.num_pins h
+
+let pp_histogram ppf label pairs =
+  Format.fprintf ppf "%s:" label;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %d:%d" k v) pairs;
+  Format.fprintf ppf "@."
+
+let pp_report ppf h =
+  Format.fprintf ppf "%a@." H.pp_summary h;
+  let _, components = connected_components h in
+  Format.fprintf ppf "components: %d@." components;
+  Format.fprintf ppf "average net size: %.2f@." (average_net_size h);
+  Format.fprintf ppf "max module degree: %d@." (H.max_module_degree h);
+  pp_histogram ppf "net sizes" (net_size_histogram h);
+  pp_histogram ppf "degrees" (degree_histogram h)

@@ -1,0 +1,26 @@
+(** Structural analysis of netlist hypergraphs: connectivity, degree and
+    net-size distributions.  Used by the CLI's [info] command, by the
+    spectral partitioner (which must handle disconnected netlists) and by
+    tests validating the synthetic generator. *)
+
+val connected_components : Hypergraph.t -> int array * int
+(** [(component_of, count)]: modules connected through shared nets get the
+    same component id in [0 .. count-1].  Runs in O(pins). *)
+
+val is_connected : Hypergraph.t -> bool
+
+val degree_histogram : Hypergraph.t -> (int * int) list
+(** [(degree, how many modules)] pairs, ascending by degree. *)
+
+val net_size_histogram : Hypergraph.t -> (int * int) list
+(** [(size, how many nets)] pairs, ascending by size. *)
+
+val average_net_size : Hypergraph.t -> float
+
+val pin_count_check : Hypergraph.t -> bool
+(** Internal consistency: the two CSR directions describe the same pin set
+    (always true for values built by {!Hypergraph.make}; used as a test
+    oracle). *)
+
+val pp_report : Format.formatter -> Hypergraph.t -> unit
+(** Multi-line human-readable report (sizes, connectivity, histograms). *)

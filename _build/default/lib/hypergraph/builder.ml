@@ -1,0 +1,37 @@
+type t = {
+  name : string;
+  mutable areas : int list; (* reversed *)
+  mutable num_modules : int;
+  mutable nets : (int array * int) list; (* reversed *)
+  mutable num_nets : int;
+}
+
+let create ?(name = "") () =
+  { name; areas = []; num_modules = 0; nets = []; num_nets = 0 }
+
+let add_module t ?(area = 1) () =
+  if area <= 0 then invalid_arg "Builder.add_module: non-positive area";
+  let id = t.num_modules in
+  t.areas <- area :: t.areas;
+  t.num_modules <- id + 1;
+  id
+
+let add_modules t ?(area = 1) n =
+  for _ = 1 to n do
+    ignore (add_module t ~area ())
+  done
+
+let add_net t ?(weight = 1) pins =
+  let distinct = List.sort_uniq compare pins in
+  if List.length distinct >= 2 then begin
+    t.nets <- (Array.of_list distinct, weight) :: t.nets;
+    t.num_nets <- t.num_nets + 1
+  end
+
+let num_modules t = t.num_modules
+let num_nets t = t.num_nets
+
+let build t =
+  let areas = Array.of_list (List.rev t.areas) in
+  let nets = Array.of_list (List.rev t.nets) in
+  Hypergraph.make ~name:t.name ~areas ~nets ()

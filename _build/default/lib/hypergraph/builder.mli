@@ -1,0 +1,26 @@
+(** Incremental construction of {!Hypergraph.t} values.
+
+    Generators and parsers accumulate modules and nets one at a time;
+    [build] validates and freezes into the immutable CSR form. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val add_module : t -> ?area:int -> unit -> int
+(** Appends a module and returns its id.  Default area 1. *)
+
+val add_modules : t -> ?area:int -> int -> unit
+(** [add_modules b n] appends [n] unit-area (or [area]) modules. *)
+
+val add_net : t -> ?weight:int -> int list -> unit
+(** Appends a net over the given pins.  Duplicate pins within the list are
+    collapsed; nets with fewer than two distinct pins are silently dropped
+    (the netlist definition requires size > 1, and generators routinely
+    produce such degenerate nets). *)
+
+val num_modules : t -> int
+val num_nets : t -> int
+
+val build : t -> Hypergraph.t
+(** Freeze.  The builder remains usable afterwards. *)

@@ -1,0 +1,143 @@
+let fail line fmt =
+  Printf.ksprintf
+    (fun msg -> failwith (Printf.sprintf "hgr line %d: %s" line msg))
+    fmt
+
+type tokens = {
+  mutable line : int;
+  mutable toks : string list;
+  input : unit -> string option;
+}
+
+let make_tokens input = { line = 0; toks = []; input }
+
+let rec next_line ts =
+  match ts.input () with
+  | None -> false
+  | Some raw ->
+      ts.line <- ts.line + 1;
+      let raw = String.trim raw in
+      if raw = "" || raw.[0] = '%' then next_line ts
+      else begin
+        ts.toks <-
+          String.split_on_char ' ' raw |> List.filter (fun s -> s <> "");
+        true
+      end
+
+let line_ints ts =
+  if not (next_line ts) then None
+  else
+    Some
+      (List.map
+         (fun s ->
+           match int_of_string_opt s with
+           | Some v -> v
+           | None -> fail ts.line "expected integer, got %S" s)
+         ts.toks)
+
+(* Shared parser driven by a line-producing closure. *)
+let parse ~name input =
+  let ts = make_tokens input in
+  let num_nets, num_modules, fmt =
+    match line_ints ts with
+    | Some [ e; n ] -> (e, n, 0)
+    | Some [ e; n; fmt ] -> (e, n, fmt)
+    | Some _ | None -> fail ts.line "expected header '<nets> <modules> [fmt]'"
+  in
+  if num_nets < 0 || num_modules <= 0 then
+    fail ts.line "non-positive sizes in header";
+  let has_net_weights = fmt = 1 || fmt = 11 in
+  let has_mod_weights = fmt = 10 || fmt = 11 in
+  if not (List.mem fmt [ 0; 1; 10; 11 ]) then fail ts.line "unsupported fmt %d" fmt;
+  let nets = ref [] in
+  for _ = 1 to num_nets do
+    match line_ints ts with
+    | None -> fail ts.line "unexpected end of file reading nets"
+    | Some ints ->
+        let weight, pins =
+          if has_net_weights then
+            match ints with
+            | w :: rest -> (w, rest)
+            | [] -> fail ts.line "empty net line"
+          else (1, ints)
+        in
+        let pins =
+          List.map
+            (fun p ->
+              if p < 1 || p > num_modules then
+                fail ts.line "pin %d out of range" p;
+              p - 1)
+            pins
+        in
+        let pins = List.sort_uniq compare pins in
+        if List.length pins >= 2 then
+          nets := (Array.of_list pins, weight) :: !nets
+  done;
+  let areas = Array.make num_modules 1 in
+  if has_mod_weights then
+    for v = 0 to num_modules - 1 do
+      match line_ints ts with
+      | Some [ a ] -> areas.(v) <- a
+      | Some _ -> fail ts.line "expected one module weight"
+      | None -> fail ts.line "unexpected end of file reading module weights"
+    done;
+  Hypergraph.make ~name ~areas ~nets:(Array.of_list (List.rev !nets)) ()
+
+let read_channel ?(name = "") ic = parse ~name (fun () -> In_channel.input_line ic)
+
+let of_string ?(name = "") s =
+  let remaining = ref (String.split_on_char '\n' s) in
+  let input () =
+    match !remaining with
+    | [] -> None
+    | x :: rest ->
+        remaining := rest;
+        Some x
+  in
+  parse ~name input
+
+let read_file path =
+  In_channel.with_open_text path (fun ic ->
+      read_channel
+        ~name:(Filename.remove_extension (Filename.basename path))
+        ic)
+
+let to_string h =
+  let n = Hypergraph.num_modules h in
+  let m = Hypergraph.num_nets h in
+  let exists_upto limit pred =
+    let rec check i = i < limit && (pred i || check (i + 1)) in
+    check 0
+  in
+  let net_weighted = exists_upto m (fun e -> Hypergraph.net_weight h e <> 1) in
+  let mod_weighted = exists_upto n (fun v -> Hypergraph.area h v <> 1) in
+  let fmt =
+    match (net_weighted, mod_weighted) with
+    | false, false -> ""
+    | true, false -> " 1"
+    | false, true -> " 10"
+    | true, true -> " 11"
+  in
+  let buf = Buffer.create (16 * (m + n)) in
+  Buffer.add_string buf (Printf.sprintf "%d %d%s\n" m n fmt);
+  for e = 0 to m - 1 do
+    let first = ref true in
+    if net_weighted then begin
+      Buffer.add_string buf (string_of_int (Hypergraph.net_weight h e));
+      first := false
+    end;
+    Hypergraph.iter_pins_of h e (fun v ->
+        if not !first then Buffer.add_char buf ' ';
+        first := false;
+        Buffer.add_string buf (string_of_int (v + 1)));
+    Buffer.add_char buf '\n'
+  done;
+  if mod_weighted then
+    for v = 0 to n - 1 do
+      Buffer.add_string buf (string_of_int (Hypergraph.area h v));
+      Buffer.add_char buf '\n'
+    done;
+  Buffer.contents buf
+
+let write_channel oc h = Out_channel.output_string oc (to_string h)
+let write_file path h = Out_channel.with_open_text path (fun oc -> write_channel oc h)

@@ -1,0 +1,30 @@
+(** hMETIS / PaToH-style [.hgr] hypergraph exchange format.
+
+    Format (1-indexed, as emitted by hMETIS):
+    {v
+    % comment lines start with %
+    <num_nets> <num_modules> [fmt]
+    <net 1 pins...>          (weight-prefixed when fmt has the 1-bit)
+    ...
+    [module weights, one per line, when fmt has the 10-bit]
+    v}
+    [fmt] is omitted or one of [1] (net weights), [10] (module weights),
+    [11] (both). *)
+
+val read_channel : ?name:string -> in_channel -> Hypergraph.t
+(** Parse from a channel.  Raises [Failure] with a line-numbered message on
+    malformed input. *)
+
+val read_file : string -> Hypergraph.t
+(** Parse from a file; the hypergraph is named after the file's basename. *)
+
+val write_channel : out_channel -> Hypergraph.t -> unit
+(** Emit in [.hgr] format.  Net weights are written when any weight differs
+    from 1, module weights when any area differs from 1. *)
+
+val write_file : string -> Hypergraph.t -> unit
+
+val to_string : Hypergraph.t -> string
+(** [.hgr] rendering as a string (used by tests and small examples). *)
+
+val of_string : ?name:string -> string -> Hypergraph.t

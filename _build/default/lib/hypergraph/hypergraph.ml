@@ -1,0 +1,212 @@
+type t = {
+  name : string;
+  areas : int array;
+  (* CSR net -> pins *)
+  net_offsets : int array; (* length num_nets + 1 *)
+  net_pins : int array;
+  net_weights : int array;
+  (* CSR module -> nets *)
+  mod_offsets : int array; (* length num_modules + 1 *)
+  mod_nets : int array;
+  total_area : int;
+  max_area : int;
+}
+
+let num_modules t = Array.length t.areas
+let num_nets t = Array.length t.net_weights
+let num_pins t = Array.length t.net_pins
+let area t v = t.areas.(v)
+let total_area t = t.total_area
+let max_area t = t.max_area
+let name t = t.name
+
+let module_degree t v = t.mod_offsets.(v + 1) - t.mod_offsets.(v)
+
+let iter_nets_of t v f =
+  for i = t.mod_offsets.(v) to t.mod_offsets.(v + 1) - 1 do
+    f t.mod_nets.(i)
+  done
+
+let nets_of t v =
+  Array.sub t.mod_nets t.mod_offsets.(v) (module_degree t v)
+
+let fold_nets_of t v ~init ~f =
+  let acc = ref init in
+  iter_nets_of t v (fun e -> acc := f !acc e);
+  !acc
+
+let net_size t e = t.net_offsets.(e + 1) - t.net_offsets.(e)
+let net_weight t e = t.net_weights.(e)
+
+let iter_pins_of t e f =
+  for i = t.net_offsets.(e) to t.net_offsets.(e + 1) - 1 do
+    f t.net_pins.(i)
+  done
+
+let pins_of t e = Array.sub t.net_pins t.net_offsets.(e) (net_size t e)
+
+let net_offset t e = t.net_offsets.(e)
+let pin_at t slot = t.net_pins.(slot)
+
+let fold_pins_of t e ~init ~f =
+  let acc = ref init in
+  iter_pins_of t e (fun v -> acc := f !acc v);
+  !acc
+
+let max_module_degree t =
+  let best = ref 0 in
+  for v = 0 to num_modules t - 1 do
+    if module_degree t v > !best then best := module_degree t v
+  done;
+  !best
+
+let max_weighted_degree t =
+  let best = ref 0 in
+  for v = 0 to num_modules t - 1 do
+    let w = fold_nets_of t v ~init:0 ~f:(fun acc e -> acc + net_weight t e) in
+    if w > !best then best := w
+  done;
+  !best
+
+let total_net_weight t = Array.fold_left ( + ) 0 t.net_weights
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d modules, %d nets, %d pins"
+    (if t.name = "" then "<hypergraph>" else t.name)
+    (num_modules t) (num_nets t) (num_pins t)
+
+(* Construction.  [nets] is validated: each net needs >= 2 distinct in-range
+   pins; then both CSR directions are materialised. *)
+let make ?(name = "") ~areas ~nets () =
+  let n = Array.length areas in
+  Array.iteri
+    (fun v a ->
+      if a <= 0 then
+        invalid_arg (Printf.sprintf "Hypergraph.make: area of module %d is %d" v a))
+    areas;
+  let seen = Array.make n (-1) in
+  Array.iteri
+    (fun e (pins, w) ->
+      if w <= 0 then
+        invalid_arg (Printf.sprintf "Hypergraph.make: net %d has weight %d" e w);
+      if Array.length pins < 2 then
+        invalid_arg (Printf.sprintf "Hypergraph.make: net %d has < 2 pins" e);
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg
+              (Printf.sprintf "Hypergraph.make: net %d pin %d out of range" e v);
+          if seen.(v) = e then
+            invalid_arg
+              (Printf.sprintf "Hypergraph.make: net %d repeats pin %d" e v);
+          seen.(v) <- e)
+        pins)
+    nets;
+  (* The sentinel array [seen] uses net ids as marks, so reset is implicit;
+     but net id 0 collides with the initial -1? No: marks store e >= 0 and
+     initial value is -1, and within net e we only compare against e. *)
+  let m = Array.length nets in
+  let net_offsets = Array.make (m + 1) 0 in
+  for e = 0 to m - 1 do
+    let pins, _ = nets.(e) in
+    net_offsets.(e + 1) <- net_offsets.(e) + Array.length pins
+  done;
+  let total_pins = net_offsets.(m) in
+  let net_pins = Array.make (Stdlib.max 1 total_pins) 0 in
+  let net_weights = Array.make (Stdlib.max 0 m) 0 in
+  for e = 0 to m - 1 do
+    let pins, w = nets.(e) in
+    net_weights.(e) <- w;
+    Array.blit pins 0 net_pins net_offsets.(e) (Array.length pins)
+  done;
+  let net_pins = if total_pins = 0 then [||] else Array.sub net_pins 0 total_pins in
+  (* module -> nets CSR via counting sort *)
+  let degree = Array.make n 0 in
+  Array.iter (fun v -> degree.(v) <- degree.(v) + 1) net_pins;
+  let mod_offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    mod_offsets.(v + 1) <- mod_offsets.(v) + degree.(v)
+  done;
+  let cursor = Array.copy mod_offsets in
+  let mod_nets = Array.make (Stdlib.max 1 total_pins) 0 in
+  for e = 0 to m - 1 do
+    for i = net_offsets.(e) to net_offsets.(e + 1) - 1 do
+      let v = net_pins.(i) in
+      mod_nets.(cursor.(v)) <- e;
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done;
+  let mod_nets = if total_pins = 0 then [||] else Array.sub mod_nets 0 total_pins in
+  let total_area = Array.fold_left ( + ) 0 areas in
+  let max_area = Array.fold_left Stdlib.max 0 areas in
+  {
+    name;
+    areas;
+    net_offsets;
+    net_pins;
+    net_weights;
+    mod_offsets;
+    mod_nets;
+    total_area;
+    max_area;
+  }
+
+(* Induce the coarse hypergraph of a clustering (Definition 1).  Cluster ids
+   must be contiguous 0..k-1.  A scratch mark array deduplicates cluster
+   occurrences per net in O(pins). *)
+let induce ?(name = "") ?(merge_duplicates = false) t cluster_of =
+  let n = num_modules t in
+  if Array.length cluster_of <> n then
+    invalid_arg "Hypergraph.induce: clustering length mismatch";
+  let k = Array.fold_left Stdlib.max (-1) cluster_of + 1 in
+  if k <= 0 then invalid_arg "Hypergraph.induce: empty clustering";
+  Array.iteri
+    (fun v c ->
+      if c < 0 || c >= k then
+        invalid_arg (Printf.sprintf "Hypergraph.induce: module %d cluster %d" v c))
+    cluster_of;
+  let coarse_areas = Array.make k 0 in
+  for v = 0 to n - 1 do
+    let c = cluster_of.(v) in
+    coarse_areas.(c) <- coarse_areas.(c) + t.areas.(v)
+  done;
+  Array.iteri
+    (fun c a ->
+      if a = 0 then
+        invalid_arg (Printf.sprintf "Hypergraph.induce: cluster %d is empty" c))
+    coarse_areas;
+  let mark = Array.make k (-1) in
+  let scratch = Array.make k 0 in
+  let coarse_nets = ref [] in
+  for e = num_nets t - 1 downto 0 do
+    let count = ref 0 in
+    iter_pins_of t e (fun v ->
+        let c = cluster_of.(v) in
+        if mark.(c) <> e then begin
+          mark.(c) <- e;
+          scratch.(!count) <- c;
+          incr count
+        end);
+    if !count >= 2 then begin
+      let pins = Array.sub scratch 0 !count in
+      Array.sort compare pins;
+      coarse_nets := (pins, net_weight t e) :: !coarse_nets
+    end
+  done;
+  let nets =
+    if not merge_duplicates then Array.of_list !coarse_nets
+    else begin
+      (* Merge identical pin sets, summing weights.  Pin arrays are sorted,
+         so a hash table keyed on the pin array works directly. *)
+      let table : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+      List.iter
+        (fun (pins, w) ->
+          match Hashtbl.find_opt table pins with
+          | Some w0 -> Hashtbl.replace table pins (w0 + w)
+          | None -> Hashtbl.add table pins w)
+        !coarse_nets;
+      let merged = Hashtbl.fold (fun pins w acc -> (pins, w) :: acc) table [] in
+      Array.of_list merged
+    end
+  in
+  (make ~name ~areas:coarse_areas ~nets (), k)

@@ -1,0 +1,112 @@
+(** Netlist hypergraphs.
+
+    A netlist hypergraph [H(V, E)] has modules (cells) [0 .. num_modules-1]
+    and nets; a net is a set of at least two distinct modules (its pins).
+    Modules carry positive areas, nets carry positive integer weights
+    (weights arise when coarsening merges duplicate nets; flat input netlists
+    have unit weights).
+
+    The representation is a compact CSR (compressed sparse row) in both
+    directions — pins of each net and nets of each module — so that the
+    inner loops of FM-style partitioners touch contiguous memory.  Values
+    are immutable after construction; use {!Builder} to create them. *)
+
+type t
+
+(** {1 Sizes} *)
+
+val num_modules : t -> int
+val num_nets : t -> int
+
+val num_pins : t -> int
+(** Total pin count: sum over nets of net size. *)
+
+(** {1 Modules} *)
+
+val area : t -> int -> int
+(** [area h v] is the area of module [v].  Unit areas for flat netlists. *)
+
+val total_area : t -> int
+(** Sum of all module areas. *)
+
+val max_area : t -> int
+(** Largest single module area (the "A(v max)" of the paper's balance rule). *)
+
+val module_degree : t -> int -> int
+(** Number of nets incident to a module. *)
+
+val nets_of : t -> int -> int array
+(** [nets_of h v] is the array of net ids incident to module [v].  The
+    returned array is a fresh copy; prefer {!iter_nets_of} in hot loops. *)
+
+val iter_nets_of : t -> int -> (int -> unit) -> unit
+(** Iterate net ids incident to a module without allocating. *)
+
+val fold_nets_of : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** {1 Nets} *)
+
+val net_size : t -> int -> int
+(** Number of pins of a net (>= 2). *)
+
+val net_weight : t -> int -> int
+(** Weight of a net (>= 1). *)
+
+val pins_of : t -> int -> int array
+(** Fresh copy of a net's pins; prefer {!iter_pins_of} in hot loops. *)
+
+val iter_pins_of : t -> int -> (int -> unit) -> unit
+
+val fold_pins_of : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val net_offset : t -> int -> int
+(** Global pin-slot index of a net's first pin: the pins of net [e] occupy
+    slots [net_offset h e .. net_offset h e + net_size h e - 1].  Engines
+    use slots to key per-pin side tables (e.g. cached gain contributions). *)
+
+val pin_at : t -> int -> int
+(** Module id stored at a global pin slot. *)
+
+(** {1 Whole-graph queries} *)
+
+val max_module_degree : t -> int
+(** Largest number of incident nets over all modules. *)
+
+val max_weighted_degree : t -> int
+(** Largest sum of incident net weights over all modules: an upper bound on
+    any FM gain, used to size gain-bucket arrays. *)
+
+val total_net_weight : t -> int
+
+val name : t -> string
+(** Optional human-readable identifier (benchmark name); [""] if unset. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: name, module/net/pin counts. *)
+
+(** {1 Construction} *)
+
+val make :
+  ?name:string ->
+  areas:int array ->
+  nets:(int array * int) array ->
+  unit ->
+  t
+(** [make ~areas ~nets ()] builds a hypergraph with [Array.length areas]
+    modules.  Each element of [nets] is [(pins, weight)].  Raises
+    [Invalid_argument] if any net has fewer than two distinct pins, a pin is
+    out of range or repeated within a net, an area is non-positive, or a
+    weight is non-positive. *)
+
+val induce : ?name:string -> ?merge_duplicates:bool -> t -> int array -> t * int
+(** [induce h cluster_of] builds the coarser hypergraph induced by the
+    clustering that maps module [v] to cluster [cluster_of.(v)] (Definition 1
+    of the paper): cluster areas are summed, each net projects to the set of
+    clusters it spans and is dropped if that set is a singleton.  Cluster ids
+    must form a contiguous range [0 .. k-1].
+
+    When [merge_duplicates] is [true] (default [false], the paper's literal
+    Definition 1 keeps duplicates), coarse nets spanning identical cluster
+    sets are merged and their weights summed.
+
+    Returns the coarse hypergraph and [k], the number of clusters. *)

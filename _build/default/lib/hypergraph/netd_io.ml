@@ -1,0 +1,165 @@
+let fail line fmt =
+  Printf.ksprintf
+    (fun msg -> failwith (Printf.sprintf "netD line %d: %s" line msg))
+    fmt
+
+(* Module ids: cells aN map to N, pads pN map to pad_offset + N.  The
+   header's pad offset separates the two namespaces. *)
+let module_id ~pad_offset ~line name =
+  if String.length name < 2 then fail line "bad module name %S" name;
+  let number =
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some v -> v
+    | None -> fail line "bad module name %S" name
+  in
+  match name.[0] with
+  | 'a' ->
+      if number < 0 || number > pad_offset then
+        fail line "cell %S outside pad offset %d" name pad_offset;
+      number
+  | 'p' ->
+      if number < 1 then fail line "bad pad index in %S" name;
+      pad_offset + number
+  | _ -> fail line "module name %S must start with 'a' or 'p'" name
+
+type parsed = {
+  num_modules : int;
+  pad_offset : int;
+  nets : int list list; (* pins per net, reversed order *)
+}
+
+let parse_net ?(strict_counts = true) contents =
+  let lines = String.split_on_char '\n' contents in
+  let tokens line_number raw =
+    String.split_on_char ' ' (String.trim raw) |> List.filter (fun s -> s <> "")
+    |> fun toks -> (line_number, toks)
+  in
+  let numbered =
+    List.mapi (fun i raw -> tokens (i + 1) raw) lines
+    |> List.filter (fun (_, toks) -> toks <> [])
+  in
+  match numbered with
+  | (l0, [ zero ]) :: (l1, [ pins ]) :: (l2, [ nets ]) :: (l3, [ modules ])
+    :: (l4, [ pad_offset ]) :: pin_lines ->
+      if zero <> "0" then fail l0 "expected leading 0";
+      let int_at l s =
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> fail l "expected integer, got %S" s
+      in
+      let num_pins = int_at l1 pins in
+      let num_nets = int_at l2 nets in
+      let num_modules = int_at l3 modules in
+      let pad_offset = int_at l4 pad_offset in
+      if num_modules <= 0 then fail l3 "non-positive module count";
+      let current = ref [] in
+      let nets = ref [] in
+      let pin_count = ref 0 in
+      let flush () = if !current <> [] then nets := !current :: !nets in
+      List.iter
+        (fun (line, toks) ->
+          match toks with
+          | name :: kind :: _rest ->
+              incr pin_count;
+              let id = module_id ~pad_offset ~line name in
+              if id >= num_modules then
+                fail line "module %S exceeds declared count %d" name num_modules;
+              (match kind with
+              | "s" ->
+                  flush ();
+                  current := [ id ]
+              | "l" ->
+                  if !current = [] then fail line "continuation before any 's' pin";
+                  current := id :: !current
+              | other -> fail line "expected pin kind 's' or 'l', got %S" other)
+          | _ -> fail line "expected '<module> <s|l> [dir]'")
+        pin_lines;
+      flush ();
+      if strict_counts && !pin_count <> num_pins then
+        failwith
+          (Printf.sprintf "netD: header declares %d pins, found %d" num_pins
+             !pin_count);
+      if strict_counts && List.length !nets <> num_nets then
+        failwith
+          (Printf.sprintf "netD: header declares %d nets, found %d" num_nets
+             (List.length !nets));
+      { num_modules; pad_offset; nets = !nets }
+  | _ -> failwith "netD: truncated header (need 5 header lines)"
+
+let parse_are contents =
+  let areas = Hashtbl.create 256 in
+  List.iteri
+    (fun i raw ->
+      let toks =
+        String.split_on_char ' ' (String.trim raw)
+        |> List.filter (fun s -> s <> "")
+      in
+      match toks with
+      | [] -> ()
+      | [ name; area ] -> begin
+          match int_of_string_opt area with
+          | Some a when a > 0 -> Hashtbl.replace areas name a
+          | Some _ | None -> fail (i + 1) "bad area %S for %S" area name
+        end
+      | _ -> fail (i + 1) "expected '<module> <area>'")
+    (String.split_on_char '\n' contents);
+  areas
+
+let read_net_string ?(name = "") ?are contents =
+  let parsed = parse_net contents in
+  let areas = Array.make parsed.num_modules 1 in
+  (match are with
+  | None -> ()
+  | Some are_contents ->
+      let table = parse_are are_contents in
+      Hashtbl.iter
+        (fun mod_name area ->
+          match module_id ~pad_offset:parsed.pad_offset ~line:0 mod_name with
+          | id when id < parsed.num_modules -> areas.(id) <- area
+          | _ -> ()
+          | exception Failure _ -> ())
+        table);
+  let nets =
+    List.rev_map
+      (fun pins ->
+        let distinct = List.sort_uniq compare pins in
+        (Array.of_list distinct, 1))
+      parsed.nets
+    |> List.filter (fun (pins, _) -> Array.length pins >= 2)
+  in
+  Hypergraph.make ~name ~areas ~nets:(Array.of_list nets) ()
+
+let read_files ?are_path net_path =
+  let contents = In_channel.with_open_text net_path In_channel.input_all in
+  let are = Option.map (fun p -> In_channel.with_open_text p In_channel.input_all) are_path in
+  read_net_string
+    ~name:(Filename.remove_extension (Filename.basename net_path))
+    ?are contents
+
+let pads _h contents =
+  let parsed = parse_net ~strict_counts:false contents in
+  List.concat_map
+    (fun pins -> List.filter (fun id -> id > parsed.pad_offset) pins)
+    parsed.nets
+  |> List.sort_uniq compare
+
+let write_net_string h =
+  let buf = Buffer.create (32 * Hypergraph.num_pins h) in
+  Buffer.add_string buf "0\n";
+  Buffer.add_string buf (string_of_int (Hypergraph.num_pins h));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (string_of_int (Hypergraph.num_nets h));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (string_of_int (Hypergraph.num_modules h));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (string_of_int (Hypergraph.num_modules h));
+  Buffer.add_char buf '\n';
+  for e = 0 to Hypergraph.num_nets h - 1 do
+    let first = ref true in
+    Hypergraph.iter_pins_of h e (fun v ->
+        Buffer.add_char buf 'a';
+        Buffer.add_string buf (string_of_int v);
+        Buffer.add_string buf (if !first then " s\n" else " l\n");
+        first := false)
+  done;
+  Buffer.contents buf

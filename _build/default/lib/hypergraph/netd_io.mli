@@ -1,0 +1,37 @@
+(** ACM/SIGDA benchmark netlist format (".net"/".netD" + ".are"), the format
+    the paper's 23 circuits ship in (ftp.cbl.ncsu.edu).
+
+    The [.net] file:
+    {v
+    0
+    <num pins>
+    <num nets>
+    <num modules>
+    <pad offset>
+    <module> s [dir]     -- pin starting a new net
+    <module> l [dir]     -- pin belonging to the current net
+    ...
+    v}
+    Module names are [aN] (cells, N in [0 .. pad_offset]) or [pN] (pads,
+    N in [1 ..]).  The optional [.are] file lists "<module> <area>" pairs;
+    missing modules default to area 1.
+
+    Having this reader means the reproduction runs on the original
+    benchmark files wherever a user has them, with the synthetic suite as
+    the offline fallback. *)
+
+val read_net_string : ?name:string -> ?are:string -> string -> Hypergraph.t
+(** Parse a [.net] file's contents (plus an optional [.are] contents).
+    Single-pin nets are dropped, duplicate pins within a net collapsed.
+    Raises [Failure] with a line number on malformed input. *)
+
+val read_files : ?are_path:string -> string -> Hypergraph.t
+(** Read from disk; the hypergraph is named after the net file. *)
+
+val pads : Hypergraph.t -> string -> int list
+(** [pads h net_contents] re-parses the pin lines and returns the module
+    ids that were pads ([pN] names) — the modules a placement flow should
+    pre-place.  (Pad identity is not stored in {!Hypergraph.t}.) *)
+
+val write_net_string : Hypergraph.t -> string
+(** Render in [.net] format (all modules as [aN] cells, no directions). *)

@@ -1,0 +1,1 @@
+lib/multilevel/hierarchy.ml: Array List Match Mlpart_hypergraph Option Stdlib

@@ -1,0 +1,1 @@
+lib/multilevel/hierarchy.mli: Mlpart_hypergraph Mlpart_util

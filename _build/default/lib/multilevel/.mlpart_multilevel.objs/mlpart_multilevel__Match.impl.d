@@ -1,0 +1,1 @@
+lib/multilevel/match.ml: Array List Mlpart_hypergraph Mlpart_util

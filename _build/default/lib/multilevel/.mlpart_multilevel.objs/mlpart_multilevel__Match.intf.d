@@ -1,0 +1,1 @@
+lib/multilevel/match.mli: Mlpart_hypergraph Mlpart_util

@@ -1,0 +1,1 @@
+lib/multilevel/ml.ml: Array Hierarchy List Logs Mlpart_hypergraph Mlpart_partition Mlpart_util Stdlib

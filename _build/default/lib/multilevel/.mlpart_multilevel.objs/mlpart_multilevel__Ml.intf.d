@@ -1,0 +1,1 @@
+lib/multilevel/ml.mli: Mlpart_hypergraph Mlpart_partition Mlpart_util

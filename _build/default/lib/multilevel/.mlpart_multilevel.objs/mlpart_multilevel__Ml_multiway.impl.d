@@ -1,0 +1,1 @@
+lib/multilevel/ml_multiway.ml: Hierarchy List Ml Mlpart_hypergraph Mlpart_partition Mlpart_util

@@ -1,0 +1,1 @@
+lib/multilevel/rb.ml: Array Fun Hashtbl Ml Mlpart_hypergraph Mlpart_partition Mlpart_util

@@ -1,0 +1,1 @@
+lib/multilevel/rb.mli: Ml Mlpart_hypergraph Mlpart_util

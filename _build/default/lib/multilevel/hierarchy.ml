@@ -1,0 +1,56 @@
+module H = Mlpart_hypergraph.Hypergraph
+
+type level = {
+  netlist : H.t;
+  cluster_of : int array;
+  fixed : int array option;
+}
+
+type t = {
+  levels : level list;
+  coarsest : H.t;
+  coarsest_fixed : int array option;
+}
+
+let project_fixed cluster_of k fixed =
+  let coarse = Array.make k (-1) in
+  Array.iteri (fun v p -> if p >= 0 then coarse.(cluster_of.(v)) <- p) fixed;
+  coarse
+
+let build ~threshold ~ratio ~match_net_size ~merge_duplicates ~max_levels
+    ?(cluster_area_factor = 4.0) ?fixed ?pair_ok rng h =
+  let max_cluster_area =
+    Stdlib.max 2
+      (int_of_float
+         (cluster_area_factor *. float_of_int (H.total_area h)
+          /. float_of_int (Stdlib.max 1 threshold)))
+  in
+  let rec go h fixed acc depth =
+    if H.num_modules h <= threshold || depth >= max_levels then
+      { levels = List.rev acc; coarsest = h; coarsest_fixed = fixed }
+    else begin
+      let matchable =
+        match fixed with
+        | Some f -> fun v -> f.(v) < 0
+        | None -> fun _ -> true
+      in
+      let cluster_of, k =
+        Match.run ~max_net_size:match_net_size ~matchable ?pair_ok
+          ~max_cluster_area rng h ~ratio
+      in
+      if k >= H.num_modules h then
+        { levels = List.rev acc; coarsest = h; coarsest_fixed = fixed }
+      else begin
+        let coarser, _ =
+          H.induce ~name:(H.name h) ~merge_duplicates h cluster_of
+        in
+        let coarser_fixed =
+          Option.map (fun f -> project_fixed cluster_of k f) fixed
+        in
+        go coarser coarser_fixed
+          ({ netlist = h; cluster_of; fixed } :: acc)
+          (depth + 1)
+      end
+    end
+  in
+  go h fixed [] 0

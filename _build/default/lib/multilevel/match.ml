@@ -1,0 +1,74 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Rng = Mlpart_util.Rng
+
+let run ?(max_net_size = 10) ?(matchable = fun _ -> true)
+    ?(pair_ok = fun _ _ -> true) ?(max_cluster_area = max_int) rng h ~ratio =
+  if not (ratio > 0.0 && ratio <= 1.0) then
+    invalid_arg "Match.run: ratio outside (0, 1]";
+  let n = H.num_modules h in
+  let cluster_of = Array.make n (-1) in
+  let conn = Array.make n 0.0 in
+  let perm = Rng.permutation rng n in
+  let k = ref 0 in
+  let n_match = ref 0 in
+  let target = ratio *. float_of_int n in
+  (* Best unmatched neighbour of [v] by the conn function; scratch array
+     [conn] is reset via the collected neighbour list. *)
+  let best_neighbour v =
+    let neighbours = ref [] in
+    let inv_av = 1.0 /. float_of_int (H.area h v) in
+    H.iter_nets_of h v (fun e ->
+        let size = H.net_size h e in
+        if size <= max_net_size then begin
+          let contribution =
+            float_of_int (H.net_weight h e) /. float_of_int (size - 1)
+          in
+          H.iter_pins_of h e (fun w ->
+              if
+                w <> v && cluster_of.(w) < 0 && matchable w && pair_ok v w
+                && H.area h v + H.area h w <= max_cluster_area
+              then begin
+                if conn.(w) = 0.0 then neighbours := w :: !neighbours;
+                conn.(w) <-
+                  conn.(w)
+                  +. (contribution *. inv_av /. float_of_int (H.area h w))
+              end)
+        end);
+    let best = ref (-1) in
+    let best_conn = ref 0.0 in
+    List.iter
+      (fun w ->
+        if conn.(w) > !best_conn then begin
+          best_conn := conn.(w);
+          best := w
+        end;
+        conn.(w) <- 0.0)
+      !neighbours;
+    !best
+  in
+  (let j = ref 0 in
+   while float_of_int !n_match < target && !j < n do
+     let v = perm.(!j) in
+     if cluster_of.(v) < 0 then begin
+       let c = !k in
+       incr k;
+       cluster_of.(v) <- c;
+       if matchable v then begin
+         let w = best_neighbour v in
+         if w >= 0 then begin
+           cluster_of.(w) <- c;
+           n_match := !n_match + 2
+         end
+       end
+     end;
+     incr j
+   done);
+  (* Remaining unmatched modules become singletons. *)
+  for j = 0 to n - 1 do
+    let v = perm.(j) in
+    if cluster_of.(v) < 0 then begin
+      cluster_of.(v) <- !k;
+      incr k
+    end
+  done;
+  (cluster_of, !k)

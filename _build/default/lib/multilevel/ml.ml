@@ -1,0 +1,135 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Rng = Mlpart_util.Rng
+module Fm = Mlpart_partition.Fm
+
+let log_src = Logs.Src.create "mlpart.ml" ~doc:"multilevel driver traces"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  threshold : int;
+  ratio : float;
+  match_net_size : int;
+  merge_duplicates : bool;
+  engine : Fm.config;
+  max_levels : int;
+  coarsest_starts : int;
+}
+
+let mlf =
+  {
+    threshold = 35;
+    ratio = 1.0;
+    match_net_size = 10;
+    merge_duplicates = false;
+    engine = Fm.default;
+    max_levels = 64;
+    coarsest_starts = 1;
+  }
+
+let mlc = { mlf with engine = Fm.clip }
+let with_ratio config ratio = { config with ratio }
+
+type result = { side : int array; cut : int; levels : int; coarsest_modules : int }
+
+let build_hierarchy config ?fixed ?pair_ok rng h =
+  Hierarchy.build ~threshold:config.threshold ~ratio:config.ratio
+    ~match_net_size:config.match_net_size
+    ~merge_duplicates:config.merge_duplicates ~max_levels:config.max_levels
+    ?fixed ?pair_ok rng h
+
+let coarsen ?(config = mlf) rng h =
+  let hierarchy = build_hierarchy config rng h in
+  ( List.map
+      (fun { Hierarchy.netlist; cluster_of; fixed = _ } -> (netlist, cluster_of))
+      hierarchy.Hierarchy.levels,
+    hierarchy.Hierarchy.coarsest )
+
+let project cluster_of coarse_side =
+  Array.map (fun c -> coarse_side.(c)) cluster_of
+
+(* Partition the coarsest netlist (steps 6 of Figure 2), optionally from an
+   initial solution, with multi-start as the §V extension. *)
+let partition_coarsest config ?init ?fixed rng coarsest =
+  let once () = Fm.run ~config:config.engine ?init ?fixed rng coarsest in
+  let best = ref (once ()) in
+  for _ = 2 to config.coarsest_starts do
+    let r = once () in
+    if r.Fm.cut < !best.Fm.cut then best := r
+  done;
+  !best
+
+(* Uncoarsening: project and refine level by level (steps 7-9). *)
+let refine_up config rng hierarchy initial_side =
+  List.fold_left
+    (fun coarse_side { Hierarchy.netlist; cluster_of; fixed } ->
+      let projected = project cluster_of coarse_side in
+      let refined =
+        Fm.run ~config:config.engine ~init:projected ?fixed rng netlist
+      in
+      Log.debug (fun m ->
+          m "refined level |V|=%d: projected cut %d -> %d (%d passes)"
+            (H.num_modules netlist)
+            (Fm.cut_of netlist projected)
+            refined.Fm.cut refined.Fm.passes);
+      refined.Fm.side)
+    initial_side
+    (List.rev hierarchy.Hierarchy.levels)
+
+let run ?(config = mlf) ?fixed rng h =
+  let hierarchy = build_hierarchy config ?fixed rng h in
+  Log.debug (fun m ->
+      m "%s: %d levels, coarsest |V|=%d (T=%d, R=%.2f)" (H.name h)
+        (List.length hierarchy.Hierarchy.levels)
+        (H.num_modules hierarchy.Hierarchy.coarsest)
+        config.threshold config.ratio);
+  let initial =
+    partition_coarsest config ?fixed:hierarchy.Hierarchy.coarsest_fixed rng
+      hierarchy.Hierarchy.coarsest
+  in
+  let side = refine_up config rng hierarchy initial.Fm.side in
+  {
+    side;
+    cut = Fm.cut_of h side;
+    levels = List.length hierarchy.Hierarchy.levels;
+    coarsest_modules = H.num_modules hierarchy.Hierarchy.coarsest;
+  }
+
+(* One solution-preserving V-cycle: coarsen with matching restricted to
+   same-side pairs (every cluster is side-pure, so the solution projects
+   without loss), refine the projected solution at each level on the way
+   back up. *)
+let vcycle config ?fixed rng h side =
+  let pair_ok v w = side.(v) = side.(w) in
+  let hierarchy = build_hierarchy config ?fixed ~pair_ok rng h in
+  (* Restrict the side assignment down the hierarchy. *)
+  let coarsest_side, _ =
+    List.fold_left
+      (fun (fine_side, _) { Hierarchy.cluster_of; _ } ->
+        let k = Array.fold_left Stdlib.max (-1) cluster_of + 1 in
+        let coarse = Array.make k 0 in
+        Array.iteri (fun v c -> coarse.(c) <- fine_side.(v)) cluster_of;
+        (coarse, k))
+      (side, H.num_modules h)
+      hierarchy.Hierarchy.levels
+  in
+  let initial =
+    Fm.run ~config:config.engine ~init:coarsest_side
+      ?fixed:hierarchy.Hierarchy.coarsest_fixed rng hierarchy.Hierarchy.coarsest
+  in
+  refine_up config rng hierarchy initial.Fm.side
+
+let run_vcycles ?(config = mlf) ?fixed ~cycles rng h =
+  if cycles < 1 then invalid_arg "Ml.run_vcycles: cycles < 1";
+  let first = run ~config ?fixed rng h in
+  let side = ref first.side in
+  let cut = ref first.cut in
+  for _ = 2 to cycles do
+    let refined = vcycle config ?fixed rng h !side in
+    let refined_cut = Fm.cut_of h refined in
+    if refined_cut <= !cut then begin
+      side := refined;
+      cut := refined_cut
+    end
+  done;
+  { first with side = !side; cut = !cut }

@@ -1,0 +1,80 @@
+(** ML — the paper's multilevel bipartitioning algorithm (Figure 2).
+
+    Coarsening: {!Match} clusterings induce successively coarser netlists
+    while the module count exceeds the threshold [T].  The coarsest netlist
+    is partitioned from a random start, and the solution is projected and
+    refined level by level with an FM-family engine.  [MLf] is ML with the
+    plain FM engine, [MLc] with CLIP (the paper's strongest variant). *)
+
+type config = {
+  threshold : int;  (** T: stop coarsening at this many modules (paper: 35) *)
+  ratio : float;  (** R: matching ratio controlling coarsening speed *)
+  match_net_size : int;  (** nets above this size ignored by Match (10) *)
+  merge_duplicates : bool;
+      (** merge identical coarse nets into weighted ones (extension;
+          Definition 1 keeps duplicates) *)
+  engine : Mlpart_partition.Fm.config;  (** refinement engine run at every level *)
+  max_levels : int;  (** hierarchy depth safety bound *)
+  coarsest_starts : int;
+      (** independent partitioning attempts of the coarsest netlist, keeping
+          the best — the paper's "spend more CPU at the top levels" future
+          work; 1 reproduces the published algorithm *)
+}
+
+val mlf : config
+(** R = 1.0, T = 35, FM engine — the paper's MLf at its default setting. *)
+
+val mlc : config
+(** R = 1.0, T = 35, CLIP engine — the paper's MLc. *)
+
+val with_ratio : config -> float -> config
+(** Same configuration at a different matching ratio R. *)
+
+type result = {
+  side : int array;
+  cut : int;
+  levels : int;  (** number of coarsening levels (m in the paper) *)
+  coarsest_modules : int;
+}
+
+val run :
+  ?config:config ->
+  ?fixed:int array ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  result
+(** [fixed.(v) >= 0] pins module [v] to that side at every level (it is
+    never matched during coarsening and never moved during refinement) —
+    the 2-way analogue of the quadrisection pad mechanism, used by
+    recursive bisection with terminal propagation. *)
+
+val run_vcycles :
+  ?config:config ->
+  ?fixed:int array ->
+  cycles:int ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  result
+(** Iterated multilevel refinement (an extension beyond the paper, in the
+    spirit of hMETIS V-cycles): after a first {!run}, each further cycle
+    re-coarsens with matching restricted to same-side pairs — so the
+    current solution projects exactly onto every level — and refines it
+    back up.  The cut never increases across cycles.  [cycles = 1] is
+    exactly {!run}. *)
+
+(** Access to the phases, for tests and custom flows. *)
+
+val coarsen :
+  ?config:config ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  (Mlpart_hypergraph.Hypergraph.t * int array) list
+  * Mlpart_hypergraph.Hypergraph.t
+(** The coarsening hierarchy as [(netlist, cluster_of)] pairs, finest first
+    ([cluster_of] maps that netlist's modules to the next-coarser netlist's
+    modules), together with the coarsest netlist.  The pair list is empty
+    when the input is already below the threshold. *)
+
+val project : int array -> int array -> int array
+(** [project cluster_of coarse_side] lifts a coarse assignment to the finer
+    level (Definition 2). *)

@@ -1,0 +1,55 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Rng = Mlpart_util.Rng
+module Multiway = Mlpart_partition.Multiway
+
+type config = {
+  threshold : int;
+  ratio : float;
+  match_net_size : int;
+  merge_duplicates : bool;
+  engine : Multiway.config;
+  max_levels : int;
+}
+
+let default =
+  {
+    threshold = 100;
+    ratio = 1.0;
+    match_net_size = 10;
+    merge_duplicates = false;
+    engine = Multiway.default;
+    max_levels = 64;
+  }
+
+type result = { side : int array; cut : int; levels : int; coarsest_modules : int }
+
+let run ?(config = default) ?fixed rng h ~k =
+  let hierarchy =
+    Hierarchy.build ~threshold:config.threshold ~ratio:config.ratio
+      ~match_net_size:config.match_net_size
+      ~merge_duplicates:config.merge_duplicates ~max_levels:config.max_levels
+      ?fixed rng h
+  in
+  let initial =
+    Multiway.run ~config:config.engine
+      ?fixed:hierarchy.Hierarchy.coarsest_fixed rng hierarchy.Hierarchy.coarsest
+      ~k
+  in
+  let side =
+    List.fold_left
+      (fun coarse_side { Hierarchy.netlist; cluster_of; fixed = level_fixed } ->
+        let projected = Ml.project cluster_of coarse_side in
+        let refined =
+          Multiway.run ~config:config.engine ~init:projected ?fixed:level_fixed
+            rng netlist ~k
+        in
+        refined.Multiway.side)
+      initial.Multiway.side
+      (List.rev hierarchy.Hierarchy.levels)
+  in
+  {
+    side;
+    cut = Multiway.cut_of h ~k side;
+    levels = List.length hierarchy.Hierarchy.levels;
+    coarsest_modules = H.num_modules hierarchy.Hierarchy.coarsest;
+  }

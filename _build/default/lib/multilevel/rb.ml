@@ -1,0 +1,76 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Builder = Mlpart_hypergraph.Builder
+module Rng = Mlpart_util.Rng
+
+type config = { ml : Ml.config; keep_cut_nets : bool }
+
+let default = { ml = Ml.mlc; keep_cut_nets = true }
+
+type result = { side : int array; cut : int; sum_degrees : int; bisections : int }
+
+let is_power_of_two k = k > 0 && k land (k - 1) = 0
+
+(* Sub-netlist of [members]; nets are restricted to their internal pins.
+   [keep_cut_nets = false] drops nets that also touch outside modules. *)
+let sub_netlist ~keep_cut_nets h members =
+  let count = Array.length members in
+  let local_of = Hashtbl.create (2 * count) in
+  Array.iteri (fun i v -> Hashtbl.add local_of v i) members;
+  let builder = Builder.create () in
+  Array.iter
+    (fun v -> ignore (Builder.add_module builder ~area:(H.area h v) ()))
+    members;
+  let seen_net = Hashtbl.create (4 * count) in
+  Array.iter
+    (fun v ->
+      H.iter_nets_of h v (fun e ->
+          if not (Hashtbl.mem seen_net e) then begin
+            Hashtbl.add seen_net e ();
+            let inside = ref [] in
+            let crossing = ref false in
+            H.iter_pins_of h e (fun u ->
+                match Hashtbl.find_opt local_of u with
+                | Some i -> inside := i :: !inside
+                | None -> crossing := true);
+            if (not !crossing) || keep_cut_nets then
+              Builder.add_net builder ~weight:(H.net_weight h e) !inside
+          end))
+    members;
+  Builder.build builder
+
+let run ?(config = default) rng h ~k =
+  if not (is_power_of_two k) then
+    invalid_arg "Rb.run: k must be a power of two";
+  let n = H.num_modules h in
+  let part = Array.make n 0 in
+  let bisections = ref 0 in
+  let rec split members lo parts =
+    if parts = 1 || Array.length members <= 1 then
+      Array.iter (fun v -> part.(v) <- lo) members
+    else begin
+      incr bisections;
+      let sub = sub_netlist ~keep_cut_nets:config.keep_cut_nets h members in
+      let side =
+        if H.num_nets sub = 0 then
+          (* no internal connectivity: alternate for balance *)
+          Array.init (Array.length members) (fun i -> i land 1)
+        else (Ml.run ~config:config.ml rng sub).Ml.side
+      in
+      let left = ref [] and right = ref [] in
+      for i = Array.length members - 1 downto 0 do
+        if side.(i) = 0 then left := members.(i) :: !left
+        else right := members.(i) :: !right
+      done;
+      let mid = parts / 2 in
+      split (Array.of_list !left) lo mid;
+      split (Array.of_list !right) (lo + mid) (parts - mid)
+    end
+  in
+  split (Array.init n Fun.id) 0 k;
+  let kp = Mlpart_partition.Kpartition.create h ~k part in
+  {
+    side = part;
+    cut = Mlpart_partition.Kpartition.cut kp;
+    sum_degrees = Mlpart_partition.Kpartition.sum_degrees kp;
+    bisections = !bisections;
+  }

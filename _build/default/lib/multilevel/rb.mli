@@ -1,0 +1,34 @@
+(** Recursive bisection: k-way partitioning by repeated 2-way ML calls —
+    the classical alternative to the paper's direct (Sanchis-style) k-way
+    refinement, provided for comparison (the [recursive] bench).
+
+    Each recursion level extracts the sub-netlist of the current module
+    set.  A net with pins outside the set is cut no matter what the
+    recursion does with its internal pins: under the {e net-cut} objective
+    such nets are dropped ([keep_cut_nets = false]); keeping them
+    ([keep_cut_nets = true]) makes the bisections also avoid splitting
+    already-cut nets further, which optimises the sum-of-degrees
+    objective — the trade-off behind Table IX's two gain functions. *)
+
+type config = {
+  ml : Ml.config;  (** bipartitioning engine for every split *)
+  keep_cut_nets : bool;  (** default true (sum-of-degrees flavour) *)
+}
+
+val default : config
+
+type result = {
+  side : int array;
+  cut : int;  (** k-way net cut of the final assignment *)
+  sum_degrees : int;
+  bisections : int;
+}
+
+val run :
+  ?config:config ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  k:int ->
+  result
+(** [k] must be a power of two (2, 4, 8, ...); raises [Invalid_argument]
+    otherwise. *)

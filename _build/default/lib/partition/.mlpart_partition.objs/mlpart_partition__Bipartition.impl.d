@@ -1,0 +1,1 @@
+lib/partition/bipartition.ml: Array Mlpart_hypergraph Mlpart_util Printf Stdlib

@@ -1,0 +1,1 @@
+lib/partition/bipartition.mli: Mlpart_hypergraph Mlpart_util

@@ -1,0 +1,1 @@
+lib/partition/fm.ml: Array Bipartition Gain_bucket Mlpart_hypergraph Mlpart_util Stdlib

@@ -1,0 +1,1 @@
+lib/partition/fm.mli: Gain_bucket Mlpart_hypergraph Mlpart_util

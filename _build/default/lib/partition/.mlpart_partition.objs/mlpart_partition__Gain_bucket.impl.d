@@ -1,0 +1,1 @@
+lib/partition/gain_bucket.ml: Array Mlpart_util Printf

@@ -1,0 +1,1 @@
+lib/partition/gain_bucket.mli: Mlpart_util

@@ -1,0 +1,1 @@
+lib/partition/genetic.ml: Array Fm Mlpart_hypergraph Mlpart_util

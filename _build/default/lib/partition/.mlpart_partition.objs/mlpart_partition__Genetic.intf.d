@@ -1,0 +1,1 @@
+lib/partition/genetic.mli: Fm Mlpart_hypergraph Mlpart_util

@@ -1,0 +1,1 @@
+lib/partition/kl.ml: Array Bipartition List Mlpart_hypergraph Mlpart_util

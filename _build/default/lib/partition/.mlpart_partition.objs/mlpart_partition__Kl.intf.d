@@ -1,0 +1,1 @@
+lib/partition/kl.mli: Mlpart_hypergraph Mlpart_util

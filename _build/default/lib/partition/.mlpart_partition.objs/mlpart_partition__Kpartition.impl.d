@@ -1,0 +1,1 @@
+lib/partition/kpartition.ml: Array Mlpart_hypergraph Mlpart_util Printf Stdlib

@@ -1,0 +1,1 @@
+lib/partition/kpartition.mli: Mlpart_hypergraph Mlpart_util

@@ -1,0 +1,1 @@
+lib/partition/lsmc.ml: Array Fm Mlpart_hypergraph Mlpart_util Queue Stdlib

@@ -1,0 +1,1 @@
+lib/partition/lsmc.mli: Fm Mlpart_hypergraph Mlpart_util

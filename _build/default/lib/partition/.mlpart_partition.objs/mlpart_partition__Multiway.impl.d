@@ -1,0 +1,1 @@
+lib/partition/multiway.ml: Array Gain_bucket Kpartition List Mlpart_hypergraph Mlpart_util Stdlib

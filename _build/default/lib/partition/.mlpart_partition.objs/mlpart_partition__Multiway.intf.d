@@ -1,0 +1,1 @@
+lib/partition/multiway.mli: Gain_bucket Mlpart_hypergraph Mlpart_util

@@ -1,0 +1,1 @@
+lib/partition/objective.ml: Array Format In_channel Kpartition List Mlpart_hypergraph Out_channel Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/partition/objective.mli: Format Mlpart_hypergraph

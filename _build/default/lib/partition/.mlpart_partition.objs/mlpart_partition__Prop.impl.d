@@ -1,0 +1,1 @@
+lib/partition/prop.ml: Array Bipartition List Mlpart_hypergraph Mlpart_util Stdlib

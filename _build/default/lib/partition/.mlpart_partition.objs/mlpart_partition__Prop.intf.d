@@ -1,0 +1,1 @@
+lib/partition/prop.mli: Mlpart_hypergraph Mlpart_util

@@ -1,0 +1,156 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Rng = Mlpart_util.Rng
+
+type t = {
+  h : H.t;
+  side : int array;
+  pins_on : int array; (* (2 * e) + s -> pin count of net e on side s *)
+  areas : int array; (* per side *)
+  mutable cut : int; (* weighted, all nets *)
+}
+
+type bounds = { lo : int; hi : int }
+
+let clamp_bounds total lo hi =
+  { lo = Stdlib.max 0 lo; hi = Stdlib.min total hi }
+
+let bounds ?(tolerance = 0.1) h =
+  let total = H.total_area h in
+  let half = total / 2 in
+  let slack =
+    Stdlib.max (H.max_area h)
+      (int_of_float (tolerance *. float_of_int total /. 2.0))
+  in
+  clamp_bounds total (half - slack) (half + slack + (total mod 2))
+
+let wide_bounds ?(tolerance = 0.1) h =
+  let total = H.total_area h in
+  let half = total / 2 in
+  let slack =
+    Stdlib.max (H.max_area h) (int_of_float (tolerance *. float_of_int total))
+  in
+  clamp_bounds total (half - slack) (half + slack + (total mod 2))
+
+let compute_state h side =
+  let m = H.num_nets h in
+  let pins_on = Array.make (2 * m) 0 in
+  let cut = ref 0 in
+  for e = 0 to m - 1 do
+    H.iter_pins_of h e (fun v ->
+        let s = side.(v) in
+        pins_on.((2 * e) + s) <- pins_on.((2 * e) + s) + 1);
+    if pins_on.(2 * e) > 0 && pins_on.((2 * e) + 1) > 0 then
+      cut := !cut + H.net_weight h e
+  done;
+  (pins_on, !cut)
+
+let create h side =
+  let n = H.num_modules h in
+  if Array.length side <> n then
+    invalid_arg "Bipartition.create: side array length mismatch";
+  Array.iteri
+    (fun v s ->
+      if s <> 0 && s <> 1 then
+        invalid_arg (Printf.sprintf "Bipartition.create: side of %d is %d" v s))
+    side;
+  let side = Array.copy side in
+  let areas = [| 0; 0 |] in
+  for v = 0 to n - 1 do
+    areas.(side.(v)) <- areas.(side.(v)) + H.area h v
+  done;
+  let pins_on, cut = compute_state h side in
+  { h; side; pins_on; areas; cut }
+
+let random rng h =
+  let n = H.num_modules h in
+  let perm = Rng.permutation rng n in
+  let total = H.total_area h in
+  let side = Array.make n 1 in
+  let acc = ref 0 in
+  (try
+     Array.iter
+       (fun v ->
+         if 2 * !acc >= total then raise Exit;
+         side.(v) <- 0;
+         acc := !acc + H.area h v)
+       perm
+   with Exit -> ());
+  create h side
+
+let copy t =
+  {
+    h = t.h;
+    side = Array.copy t.side;
+    pins_on = Array.copy t.pins_on;
+    areas = Array.copy t.areas;
+    cut = t.cut;
+  }
+
+let hypergraph t = t.h
+let side t v = t.side.(v)
+let side_array t = Array.copy t.side
+let area_of_side t s = t.areas.(s)
+let cut t = t.cut
+let pins_on t e s = t.pins_on.((2 * e) + s)
+
+let is_balanced t b = t.areas.(0) >= b.lo && t.areas.(0) <= b.hi
+
+let move_is_feasible t b v =
+  let a = H.area t.h v in
+  let area0 = if t.side.(v) = 0 then t.areas.(0) - a else t.areas.(0) + a in
+  area0 >= b.lo && area0 <= b.hi
+
+let gain ?(net_threshold = max_int) t v =
+  let from = t.side.(v) in
+  let dest = 1 - from in
+  H.fold_nets_of t.h v ~init:0 ~f:(fun acc e ->
+      if H.net_size t.h e > net_threshold then acc
+      else
+        let w = H.net_weight t.h e in
+        let acc = if pins_on t e from = 1 then acc + w else acc in
+        if pins_on t e dest = 0 then acc - w else acc)
+
+let move t v =
+  let from = t.side.(v) in
+  let dest = 1 - from in
+  let a = H.area t.h v in
+  t.side.(v) <- dest;
+  t.areas.(from) <- t.areas.(from) - a;
+  t.areas.(dest) <- t.areas.(dest) + a;
+  H.iter_nets_of t.h v (fun e ->
+      let fi = (2 * e) + from and di = (2 * e) + dest in
+      let before_cut = t.pins_on.(fi) > 0 && t.pins_on.(di) > 0 in
+      t.pins_on.(fi) <- t.pins_on.(fi) - 1;
+      t.pins_on.(di) <- t.pins_on.(di) + 1;
+      let after_cut = t.pins_on.(fi) > 0 && t.pins_on.(di) > 0 in
+      if before_cut && not after_cut then t.cut <- t.cut - H.net_weight t.h e
+      else if after_cut && not before_cut then t.cut <- t.cut + H.net_weight t.h e)
+
+let rebalance ?fixed rng t b =
+  let n = H.num_modules t.h in
+  let movable v = match fixed with Some f -> f.(v) < 0 | None -> true in
+  let moves = ref 0 in
+  let guard = ref (8 * (n + 1)) in
+  while not (is_balanced t b) do
+    decr guard;
+    if !guard = 0 then failwith "Bipartition.rebalance: bounds unsatisfiable";
+    let heavy = if t.areas.(0) > b.hi then 0 else 1 in
+    (* Draw random modules until one on the heavy side turns up; expected
+       constant attempts since the heavy side holds most of the area. *)
+    let rec pick tries =
+      if tries = 0 then raise Exit
+      else
+        let v = Rng.int rng n in
+        if t.side.(v) = heavy && movable v then v else pick (tries - 1)
+    in
+    match pick (4 * n) with
+    | v ->
+        move t v;
+        incr moves
+    | exception Exit -> failwith "Bipartition.rebalance: no module on heavy side"
+  done;
+  !moves
+
+let recompute_cut t =
+  let _, cut = compute_state t.h t.side in
+  cut

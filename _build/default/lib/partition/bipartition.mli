@@ -1,0 +1,80 @@
+(** Mutable 2-way partition state shared by all bipartitioning engines.
+
+    Tracks, incrementally under single-module moves: the side of every
+    module, per-net pin counts on each side, side areas, and the weighted
+    cut.  The cut always accounts for {e every} net — engines that ignore
+    large nets during refinement still observe the true cut here, as the
+    paper requires ("these nets are reinserted when measuring solution
+    quality"). *)
+
+type t
+
+(** {1 Balance} *)
+
+type bounds = { lo : int; hi : int }
+(** Admissible range for the area of side 0 (side 1 is implied by the fixed
+    total). *)
+
+val bounds : ?tolerance:float -> Mlpart_hypergraph.Hypergraph.t -> bounds
+(** The paper's balance rule with tolerance [r] (default 0.1): side areas
+    must lie within [A(V)/2 ± slack] with
+    [slack = max (A(v_max), r * A(V) / 2)], clamped to [[0, A(V)]].
+    The [A(v_max)] term keeps coarse netlists with large clusters
+    feasible (paper §III.B). *)
+
+val wide_bounds : ?tolerance:float -> Mlpart_hypergraph.Hypergraph.t -> bounds
+(** Variant with the literal §III.B slack [max (A(v_max), r * A(V))];
+    used by the balance-slack ablation. *)
+
+(** {1 Construction} *)
+
+val create : Mlpart_hypergraph.Hypergraph.t -> int array -> t
+(** [create h side] adopts (copies) the given 0/1 side assignment.
+    Raises [Invalid_argument] on a malformed assignment. *)
+
+val random : Mlpart_util.Rng.t -> Mlpart_hypergraph.Hypergraph.t -> t
+(** Random near-bisection: a random permutation is split by area midpoint. *)
+
+val copy : t -> t
+
+(** {1 Queries} *)
+
+val hypergraph : t -> Mlpart_hypergraph.Hypergraph.t
+val side : t -> int -> int
+val side_array : t -> int array
+(** Fresh copy of the side assignment. *)
+
+val area_of_side : t -> int -> int
+val cut : t -> int
+(** Current weighted cut (every net counted). *)
+
+val pins_on : t -> int -> int -> int
+(** [pins_on t e s] is the number of pins of net [e] on side [s]. *)
+
+val is_balanced : t -> bounds -> bool
+
+val move_is_feasible : t -> bounds -> int -> bool
+(** Would moving module [v] keep side areas within [bounds]? *)
+
+val gain : ?net_threshold:int -> t -> int -> int
+(** FM gain of moving module [v] to the other side: the decrease in cut,
+    counting only nets of size [<= net_threshold] (default [max_int]). *)
+
+(** {1 Mutation} *)
+
+val move : t -> int -> unit
+(** Move module [v] to the other side, updating pin counts, areas and cut in
+    [O(degree v * avg net size)] for cut-state transitions (amortised
+    O(degree)). Self-inverse. *)
+
+val rebalance : ?fixed:int array -> Mlpart_util.Rng.t -> t -> bounds -> int
+(** Randomly move modules from the heavier side until [is_balanced]; returns
+    the number of moves.  Used after projecting a coarse solution whose
+    balance slack shrank (paper §III.B).  [fixed.(v) >= 0] exempts module
+    [v].  Raises [Failure] if the bounds are unsatisfiable. *)
+
+(** {1 Verification} *)
+
+val recompute_cut : t -> int
+(** Cut recomputed from scratch; equals [cut t] unless state was corrupted.
+    Used by tests and assertions only. *)

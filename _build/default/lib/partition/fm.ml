@@ -1,0 +1,369 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Rng = Mlpart_util.Rng
+
+type tie_break = Plain | Lookahead of int
+
+type config = {
+  policy : Gain_bucket.policy;
+  clip : bool;
+  tie_break : tie_break;
+  net_threshold : int;
+  tolerance : float;
+  wide_balance : bool;
+  max_passes : int;
+  early_exit : int option;
+  boundary : bool;
+  backtrack : (int * int) option;
+}
+
+let default =
+  {
+    policy = Gain_bucket.Lifo;
+    clip = false;
+    tie_break = Plain;
+    net_threshold = 200;
+    tolerance = 0.1;
+    wide_balance = false;
+    max_passes = max_int;
+    early_exit = None;
+    boundary = false;
+    backtrack = None;
+  }
+
+let clip = { default with clip = true }
+
+type result = { side : int array; cut : int; passes : int; moves : int }
+
+let cut_of h side = Bipartition.cut (Bipartition.create h side)
+
+(* Per-run engine state.  [gain] holds true gains of free modules; under
+   CLIP the bucket key of a module is [gain - gain0] (its offset from the
+   pass-initial gain), otherwise the gain itself.  [free_on.(2e+s)] counts
+   unlocked pins of net e on side s, used by lookahead gain vectors. *)
+type state = {
+  cfg : config;
+  h : H.t;
+  bp : Bipartition.t;
+  bounds : Bipartition.bounds;
+  fixed : int array option;
+  rng : Rng.t;
+  gain : int array;
+  gain0 : int array;
+  locked : bool array;
+  frozen : bool array; (* CDIP: kept out for the rest of the pass *)
+  free_on : int array;
+  buckets : Gain_bucket.t array; (* one per side *)
+  order : int array; (* move stack *)
+  lookahead_vec : int array; (* scratch for vector comparison *)
+}
+
+let key_of st v = if st.cfg.clip then st.gain.(v) - st.gain0.(v) else st.gain.(v)
+
+let bump st u delta =
+  st.gain.(u) <- st.gain.(u) + delta;
+  let bucket = st.buckets.(Bipartition.side st.bp u) in
+  if Gain_bucket.contains bucket u then Gain_bucket.adjust bucket u delta
+  else
+    (* boundary mode: a module outside the frontier enters the structure
+       the first time a neighbouring move touches its gain *)
+    Gain_bucket.insert bucket u (key_of st u)
+
+(* FM critical-net gain updates around moving [v]; [v] must already be
+   locked and removed from its bucket, the partition not yet updated. *)
+let apply_move st v =
+  let thr = st.cfg.net_threshold in
+  let from = Bipartition.side st.bp v in
+  let dest = 1 - from in
+  H.iter_nets_of st.h v (fun e ->
+      if H.net_size st.h e <= thr then begin
+        let w = H.net_weight st.h e in
+        let t_cnt = Bipartition.pins_on st.bp e dest in
+        if t_cnt = 0 then
+          H.iter_pins_of st.h e (fun u -> if not st.locked.(u) then bump st u w)
+        else if t_cnt = 1 then
+          H.iter_pins_of st.h e (fun u ->
+              if Bipartition.side st.bp u = dest && not st.locked.(u) then
+                bump st u (-w))
+      end);
+  Bipartition.move st.bp v;
+  H.iter_nets_of st.h v (fun e ->
+      st.free_on.((2 * e) + from) <- st.free_on.((2 * e) + from) - 1;
+      if H.net_size st.h e <= thr then begin
+        let w = H.net_weight st.h e in
+        let f_cnt = Bipartition.pins_on st.bp e from in
+        if f_cnt = 0 then
+          H.iter_pins_of st.h e (fun u -> if not st.locked.(u) then bump st u (-w))
+        else if f_cnt = 1 then
+          H.iter_pins_of st.h e (fun u ->
+              if Bipartition.side st.bp u = from && not st.locked.(u) then
+                bump st u w)
+      end)
+
+(* Undo a move made by [apply_move]: partition state only — gains and
+   buckets are rebuilt wholesale afterwards (paper §V notes full
+   reinitialisation per pass; CDIP backtracks rebuild too). *)
+let unmove st v =
+  let from = Bipartition.side st.bp v in
+  Bipartition.move st.bp v;
+  H.iter_nets_of st.h v (fun e ->
+      st.free_on.((2 * e) + from) <- st.free_on.((2 * e) + from) + 1)
+
+(* Krishnamurthy level-r gain vector of a free module, in one sweep over its
+   nets.  Binding number of a side is infinite when a locked pin sits there
+   (the net can never leave that side); otherwise the count of free pins. *)
+let gain_vector st v r vec =
+  Array.fill vec 0 r 0;
+  let thr = st.cfg.net_threshold in
+  let a = Bipartition.side st.bp v in
+  let b = 1 - a in
+  H.iter_nets_of st.h v (fun e ->
+      if H.net_size st.h e <= thr then begin
+        let w = H.net_weight st.h e in
+        let free_a = st.free_on.((2 * e) + a)
+        and free_b = st.free_on.((2 * e) + b) in
+        let locked_a = Bipartition.pins_on st.bp e a - free_a
+        and locked_b = Bipartition.pins_on st.bp e b - free_b in
+        if locked_a = 0 && free_a - 1 < r then
+          vec.(free_a - 1) <- vec.(free_a - 1) + w;
+        if locked_b = 0 && free_b < r then vec.(free_b) <- vec.(free_b) - w
+      end)
+
+let compare_vectors a b r =
+  let rec go i = if i >= r then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i + 1) in
+  go 0
+
+let feasible st v = Bipartition.move_is_feasible st.bp st.bounds v
+
+(* Candidate selection.  Both sides' best feasible keys are compared; key
+   ties go to the heavier side (helps balance).  Under lookahead, all
+   feasible candidates sharing the winning key (bounded scan) are compared
+   by gain vector. *)
+let select st =
+  let cand s = Gain_bucket.select_max_satisfying st.buckets.(s) (feasible st) in
+  let choice =
+    match (cand 0, cand 1) with
+    | None, None -> None
+    | Some (v, g), None | None, Some (v, g) -> Some (v, g)
+    | Some (v0, g0), Some (v1, g1) ->
+        if g0 > g1 then Some (v0, g0)
+        else if g1 > g0 then Some (v1, g1)
+        else if Bipartition.area_of_side st.bp 0 >= Bipartition.area_of_side st.bp 1
+        then Some (v0, g0)
+        else Some (v1, g1)
+  in
+  match (choice, st.cfg.tie_break) with
+  | None, _ -> None
+  | Some (v, _), Plain -> Some v
+  | Some (v, key), Lookahead r ->
+      let limit = ref 64 in
+      let best = ref v in
+      let best_vec = Array.make r 0 in
+      let vec = st.lookahead_vec in
+      gain_vector st v r best_vec;
+      let consider u =
+        if u <> !best && !limit > 0 && feasible st u then begin
+          decr limit;
+          gain_vector st u r vec;
+          if compare_vectors vec best_vec r > 0 then begin
+            best := u;
+            Array.blit vec 0 best_vec 0 r
+          end
+        end
+      in
+      (* Candidates at the winning key can sit on either side: a side whose
+         best feasible key is lower contributes none. *)
+      for s = 0 to 1 do
+        match Gain_bucket.max_key st.buckets.(s) with
+        | Some mk when mk >= key -> Gain_bucket.iter_key st.buckets.(s) key consider
+        | Some _ | None -> ()
+      done;
+      Some !best
+
+(* (Re)build gains, free-pin counts and buckets for the current free set.
+   Under CLIP, all modules enter at key [gain - gain0]; at pass start that
+   is 0 for everyone and the insertion order realises the paper's
+   "concatenate buckets from the largest index" preprocessing: for LIFO
+   (head selection) ascending initial gain leaves the highest at the head,
+   for FIFO descending does. *)
+let fill_structures st ~fresh_pass =
+  let n = H.num_modules st.h in
+  for v = 0 to n - 1 do
+    if not st.locked.(v) then
+      st.gain.(v) <- Bipartition.gain ~net_threshold:st.cfg.net_threshold st.bp v
+  done;
+  if st.cfg.clip && fresh_pass then
+    for v = 0 to n - 1 do
+      st.gain0.(v) <- st.gain.(v)
+    done;
+  let m = H.num_nets st.h in
+  for e = 0 to m - 1 do
+    let count s =
+      let free = ref 0 in
+      H.iter_pins_of st.h e (fun u ->
+          if (not st.locked.(u)) && Bipartition.side st.bp u = s then incr free);
+      !free
+    in
+    st.free_on.(2 * e) <- count 0;
+    st.free_on.((2 * e) + 1) <- count 1
+  done;
+  Gain_bucket.clear st.buckets.(0);
+  Gain_bucket.clear st.buckets.(1);
+  let ids = Array.init n (fun v -> v) in
+  if st.cfg.clip then begin
+    (* Sort by initial gain so that bucket-0 ends up ordered by descending
+       initial gain under the selection policy. *)
+    let cmp =
+      match st.cfg.policy with
+      | Gain_bucket.Fifo -> fun a b -> compare st.gain.(b) st.gain.(a)
+      | Gain_bucket.Lifo | Gain_bucket.Random ->
+          fun a b -> compare st.gain.(a) st.gain.(b)
+    in
+    Array.sort cmp ids
+  end
+  else Rng.shuffle_in_place st.rng ids;
+  let on_boundary v =
+    Mlpart_hypergraph.Hypergraph.fold_nets_of st.h v ~init:false
+      ~f:(fun acc e ->
+        acc
+        || (Bipartition.pins_on st.bp e 0 > 0 && Bipartition.pins_on st.bp e 1 > 0))
+  in
+  Array.iter
+    (fun v ->
+      if (not st.locked.(v)) && ((not st.cfg.boundary) || on_boundary v) then
+        Gain_bucket.insert st.buckets.(Bipartition.side st.bp v) v (key_of st v))
+    ids
+
+(* Fixed modules behave as permanently locked: never inserted, never
+   moved, invisible to free-pin counts. *)
+let apply_fixed_locks st =
+  match st.fixed with
+  | None -> ()
+  | Some f -> Array.iteri (fun v p -> if p >= 0 then st.locked.(v) <- true) f
+
+(* One FM pass; returns the pass gain (cut decrease kept). *)
+let run_pass st =
+  let n = H.num_modules st.h in
+  Array.fill st.locked 0 n false;
+  Array.fill st.frozen 0 n false;
+  apply_fixed_locks st;
+  fill_structures st ~fresh_pass:true;
+  let moved = ref 0 in
+  let cum = ref 0 in
+  let best = ref 0 in
+  let best_count = ref 0 in
+  let backtracks = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match select st with
+    | None -> continue := false
+    | Some v ->
+        Gain_bucket.remove st.buckets.(Bipartition.side st.bp v) v;
+        st.locked.(v) <- true;
+        let g = st.gain.(v) in
+        apply_move st v;
+        st.order.(!moved) <- v;
+        incr moved;
+        cum := !cum + g;
+        if !cum > !best then begin
+          best := !cum;
+          best_count := !moved
+        end
+        else begin
+          let non_improving = !moved - !best_count in
+          (match st.cfg.early_exit with
+          | Some k when non_improving >= k -> continue := false
+          | Some _ | None -> ());
+          match st.cfg.backtrack with
+          | Some (window, limit) when non_improving >= window && !backtracks < limit
+            ->
+              incr backtracks;
+              (* Undo the losing streak, freeze its first module, rebuild. *)
+              let first_bad = st.order.(!best_count) in
+              for i = !moved - 1 downto !best_count do
+                unmove st st.order.(i)
+              done;
+              moved := !best_count;
+              cum := !best;
+              st.frozen.(first_bad) <- true;
+              Array.fill st.locked 0 n false;
+              apply_fixed_locks st;
+              for i = 0 to !moved - 1 do
+                st.locked.(st.order.(i)) <- true
+              done;
+              for v = 0 to n - 1 do
+                if st.frozen.(v) then st.locked.(v) <- true
+              done;
+              fill_structures st ~fresh_pass:false
+          | Some _ | None -> ()
+        end
+  done;
+  (* Keep only the best prefix. *)
+  for i = !moved - 1 downto !best_count do
+    unmove st st.order.(i)
+  done;
+  (!best, !moved)
+
+let run ?(config = default) ?init ?fixed rng h =
+  let bounds =
+    if config.wide_balance then Bipartition.wide_bounds ~tolerance:config.tolerance h
+    else Bipartition.bounds ~tolerance:config.tolerance h
+  in
+  let bp =
+    match init with
+    | Some side -> Bipartition.create h side
+    | None -> Bipartition.random rng h
+  in
+  (* Pinned modules override whatever the initial solution said. *)
+  (match fixed with
+  | Some f ->
+      Array.iteri
+        (fun v p ->
+          if p >= 0 && Bipartition.side bp v <> p then Bipartition.move bp v)
+        f
+  | None -> ());
+  if not (Bipartition.is_balanced bp bounds) then
+    ignore (Bipartition.rebalance ?fixed rng bp bounds);
+  let n = H.num_modules h in
+  let m = H.num_nets h in
+  let wdeg = Stdlib.max 1 (H.max_weighted_degree h) in
+  let range = if config.clip then 2 * wdeg else wdeg in
+  let mk_bucket () =
+    Gain_bucket.create ~rng:(Rng.split rng) ~policy:config.policy
+      ~min_gain:(-range) ~max_gain:range ~capacity:n ()
+  in
+  let st =
+    {
+      cfg = config;
+      h;
+      bp;
+      bounds;
+      fixed;
+      rng;
+      gain = Array.make n 0;
+      gain0 = Array.make n 0;
+      locked = Array.make n false;
+      frozen = Array.make n false;
+      free_on = Array.make (2 * m) 0;
+      buckets = [| mk_bucket (); mk_bucket () |];
+      order = Array.make n 0;
+      lookahead_vec =
+        (match config.tie_break with
+        | Plain -> [| 0 |]
+        | Lookahead r -> Array.make (Stdlib.max 1 r) 0);
+    }
+  in
+  let passes = ref 0 in
+  let moves = ref 0 in
+  let improving = ref true in
+  while !improving && !passes < config.max_passes do
+    let pass_gain, pass_moves = run_pass st in
+    incr passes;
+    moves := !moves + pass_moves;
+    if pass_gain <= 0 then improving := false
+  done;
+  {
+    side = Bipartition.side_array st.bp;
+    cut = Bipartition.cut st.bp;
+    passes = !passes;
+    moves = !moves;
+  }

@@ -1,0 +1,199 @@
+module Rng = Mlpart_util.Rng
+
+type policy = Lifo | Fifo | Random
+
+let policy_of_string = function
+  | "lifo" -> Some Lifo
+  | "fifo" -> Some Fifo
+  | "random" | "rnd" -> Some Random
+  | _ -> None
+
+let policy_to_string = function Lifo -> "lifo" | Fifo -> "fifo" | Random -> "random"
+
+(* Intrusive doubly-linked lists over a module-id-indexed arena.  [head] and
+   [tail] per bucket; [bucket_of.(v) = min_gain - 1] marks absence. *)
+type t = {
+  policy : policy;
+  rng : Rng.t;
+  min_gain : int;
+  max_gain : int;
+  head : int array; (* bucket index - min_gain -> first module or -1 *)
+  tail : int array;
+  next : int array;
+  prev : int array;
+  bucket_of : int array; (* gain of stored module, or absent_mark *)
+  absent_mark : int;
+  mutable max_bucket : int; (* upper bound on highest non-empty bucket index *)
+  mutable size : int;
+}
+
+let create ?rng ~policy ~min_gain ~max_gain ~capacity () =
+  if max_gain < min_gain then invalid_arg "Gain_bucket.create: empty gain range";
+  let nbuckets = max_gain - min_gain + 1 in
+  let rng = match rng with Some r -> r | None -> Rng.create 0x6a11 in
+  {
+    policy;
+    rng;
+    min_gain;
+    max_gain;
+    head = Array.make nbuckets (-1);
+    tail = Array.make nbuckets (-1);
+    next = Array.make capacity (-1);
+    prev = Array.make capacity (-1);
+    bucket_of = Array.make capacity (min_gain - 1);
+    absent_mark = min_gain - 1;
+    max_bucket = min_gain - 1;
+    size = 0;
+  }
+
+let clear t =
+  Array.fill t.head 0 (Array.length t.head) (-1);
+  Array.fill t.tail 0 (Array.length t.tail) (-1);
+  Array.fill t.bucket_of 0 (Array.length t.bucket_of) t.absent_mark;
+  t.max_bucket <- t.absent_mark;
+  t.size <- 0
+
+let size t = t.size
+let is_empty t = t.size = 0
+let contains t v = t.bucket_of.(v) <> t.absent_mark
+
+let gain_of t v = t.bucket_of.(v)
+
+let slot t g = g - t.min_gain
+
+let insert t v g =
+  if g < t.min_gain || g > t.max_gain then
+    invalid_arg
+      (Printf.sprintf "Gain_bucket.insert: gain %d outside [%d, %d]" g t.min_gain
+         t.max_gain);
+  if contains t v then invalid_arg "Gain_bucket.insert: module already present";
+  let i = slot t g in
+  (match t.policy with
+  | Lifo | Random ->
+      (* push front *)
+      let old = t.head.(i) in
+      t.next.(v) <- old;
+      t.prev.(v) <- -1;
+      if old >= 0 then t.prev.(old) <- v else t.tail.(i) <- v;
+      t.head.(i) <- v
+  | Fifo ->
+      (* push back *)
+      let old = t.tail.(i) in
+      t.prev.(v) <- old;
+      t.next.(v) <- -1;
+      if old >= 0 then t.next.(old) <- v else t.head.(i) <- v;
+      t.tail.(i) <- v);
+  t.bucket_of.(v) <- g;
+  if g > t.max_bucket then t.max_bucket <- g;
+  t.size <- t.size + 1
+
+let remove t v =
+  if contains t v then begin
+    let i = slot t (t.bucket_of.(v)) in
+    let p = t.prev.(v) and n = t.next.(v) in
+    if p >= 0 then t.next.(p) <- n else t.head.(i) <- n;
+    if n >= 0 then t.prev.(n) <- p else t.tail.(i) <- p;
+    t.bucket_of.(v) <- t.absent_mark;
+    t.size <- t.size - 1
+  end
+
+let adjust t v delta =
+  if not (contains t v) then invalid_arg "Gain_bucket.adjust: module absent";
+  let g = t.bucket_of.(v) + delta in
+  remove t v;
+  insert t v g
+
+(* Lower [max_bucket] past empty buckets. *)
+let settle t =
+  while t.max_bucket >= t.min_gain && t.head.(slot t t.max_bucket) < 0 do
+    t.max_bucket <- t.max_bucket - 1
+  done
+
+let random_of_bucket t i =
+  let count = ref 0 in
+  let v = ref t.head.(i) in
+  while !v >= 0 do
+    incr count;
+    v := t.next.(!v)
+  done;
+  let target = Rng.int t.rng !count in
+  let v = ref t.head.(i) in
+  for _ = 1 to target do
+    v := t.next.(!v)
+  done;
+  !v
+
+let select_max t =
+  if t.size = 0 then None
+  else begin
+    settle t;
+    let i = slot t t.max_bucket in
+    let v =
+      match t.policy with Lifo | Fifo -> t.head.(i) | Random -> random_of_bucket t i
+    in
+    Some (v, t.max_bucket)
+  end
+
+let select_max_satisfying t pred =
+  if t.size = 0 then None
+  else begin
+    settle t;
+    (* Scan buckets downward.  For Random, examining the bucket in a random
+       rotation keeps selection unbiased among satisfying modules. *)
+    let rec scan_bucket v =
+      if v < 0 then None
+      else if pred v then Some v
+      else scan_bucket t.next.(v)
+    in
+    let rec scan g =
+      if g < t.min_gain then None
+      else
+        let i = slot t g in
+        let start =
+          match t.policy with
+          | Lifo | Fifo -> t.head.(i)
+          | Random ->
+              if t.head.(i) >= 0 then random_of_bucket t i else -1
+        in
+        match t.policy with
+        | Lifo | Fifo -> begin
+            match scan_bucket start with
+            | Some v -> Some (v, g)
+            | None -> scan (g - 1)
+          end
+        | Random -> begin
+            (* Try the random pick first, then fall back to a linear scan
+               from the head (bias acceptable for rejected candidates). *)
+            if start >= 0 && pred start then Some (start, g)
+            else
+              match scan_bucket t.head.(i) with
+              | Some v -> Some (v, g)
+              | None -> scan (g - 1)
+          end
+    in
+    scan t.max_bucket
+  end
+
+let pop_max t =
+  match select_max t with
+  | None -> None
+  | Some (v, g) ->
+      remove t v;
+      Some (v, g)
+
+let max_key t =
+  if t.size = 0 then None
+  else begin
+    settle t;
+    Some t.max_bucket
+  end
+
+let iter_key t g f =
+  if g >= t.min_gain && g <= t.max_gain then begin
+    let v = ref t.head.(slot t g) in
+    while !v >= 0 do
+      let cur = !v in
+      v := t.next.(cur);
+      f cur
+    done
+  end

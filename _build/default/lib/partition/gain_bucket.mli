@@ -1,0 +1,73 @@
+(** FM gain-bucket structure with pluggable tie-breaking policy.
+
+    An array of buckets indexed by gain, each holding an intrusive doubly
+    linked list of module ids.  All operations except [Random] selection are
+    O(1) plus max-index maintenance.  The tie-breaking policy decides which
+    module of the highest non-empty bucket is returned:
+
+    - [Lifo]: most recently inserted (the organisation the paper adopts);
+    - [Fifo]: least recently inserted;
+    - [Random]: uniform over the bucket (costs a scan of that bucket).
+
+    This is the data structure whose LIFO/FIFO/Random comparison the paper
+    reproduces in Table II. *)
+
+type policy = Lifo | Fifo | Random
+
+val policy_of_string : string -> policy option
+val policy_to_string : policy -> string
+
+type t
+
+val create :
+  ?rng:Mlpart_util.Rng.t -> policy:policy -> min_gain:int -> max_gain:int ->
+  capacity:int -> unit -> t
+(** [create ~policy ~min_gain ~max_gain ~capacity ()] supports module ids
+    [0 .. capacity-1] and gains in [[min_gain, max_gain]].  [rng] is required
+    only for the [Random] policy (defaults to a fixed-seed generator). *)
+
+val clear : t -> unit
+(** Empty the structure (O(capacity)). *)
+
+val size : t -> int
+(** Number of modules currently stored. *)
+
+val is_empty : t -> bool
+
+val contains : t -> int -> bool
+
+val gain_of : t -> int -> int
+(** Current gain key of a stored module.  Undefined for absent modules. *)
+
+val insert : t -> int -> int -> unit
+(** [insert t v g] adds module [v] with gain [g].  [v] must not be present;
+    [g] must be within range (checked, raises [Invalid_argument]). *)
+
+val remove : t -> int -> unit
+(** Remove a stored module.  No-op if absent. *)
+
+val adjust : t -> int -> int -> unit
+(** [adjust t v delta] shifts a stored module's gain by [delta], reinserting
+    it at the position the policy dictates for fresh insertions (as in the
+    original FM implementation). *)
+
+val select_max : t -> (int * int) option
+(** Identity and gain of the module the policy picks from the highest
+    non-empty bucket, without removing it. *)
+
+val select_max_satisfying : t -> (int -> bool) -> (int * int) option
+(** Like {!select_max} but returns the best stored module satisfying the
+    predicate: buckets are scanned downwards and, within a bucket, in policy
+    order.  Used for balance-feasible selection; cost is proportional to the
+    number of rejected candidates. *)
+
+val pop_max : t -> (int * int) option
+(** {!select_max} followed by removal. *)
+
+val max_key : t -> int option
+(** Highest gain currently stored, if any. *)
+
+val iter_key : t -> int -> (int -> unit) -> unit
+(** [iter_key t g f] applies [f] to every stored module with gain [g], in
+    policy selection order (front of the bucket first).  Used by lookahead
+    tie-breaking to enumerate equal-key candidates. *)

@@ -1,0 +1,33 @@
+(** Hybrid genetic/FM bipartitioning in the style of Bui–Moon (DAC 1994)
+    and the GMet column of Table VII: a small population of FM-refined
+    solutions evolved by crossover + mutation, every offspring re-refined
+    by FM before competing.
+
+    The crossover normalises parent polarity first (a bipartition and its
+    complement are the same solution), takes each module's side from a
+    random parent, repairs balance, mutates a few modules, and descends
+    with the configured FM engine.  Steady-state replacement of the worst
+    member. *)
+
+type config = {
+  population : int;  (** default 8 *)
+  generations : int;  (** offspring produced; default 24 *)
+  mutation : float;  (** per-module flip probability; default 0.02 *)
+  engine : Fm.config;  (** refinement engine; default plain FM *)
+}
+
+val default : config
+
+type result = {
+  side : int array;
+  cut : int;
+  evaluations : int;  (** FM descents performed *)
+}
+
+val run :
+  ?config:config ->
+  ?init:int array ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  result
+(** [init], when given, seeds one population member. *)

@@ -1,0 +1,26 @@
+(** Kernighan–Lin pair-swap bipartitioning (Bell Syst. Tech. J. 1970) —
+    the ancestor of FM that the paper's §I departs from.  Provided as an
+    educational baseline; it maintains exact balance by construction
+    (modules swap rather than move), and its passes cost far more than
+    FM's, which is precisely the motivation for Fiduccia–Mattheyses.
+
+    Candidate pruning keeps it usable: each step evaluates exact swap
+    gains only between the [beam] highest-gain modules of each side
+    (classic KL evaluates all pairs). *)
+
+type config = {
+  beam : int;  (** candidates per side per step; default 12 *)
+  max_passes : int;
+  net_threshold : int;
+}
+
+val default : config
+
+type result = { side : int array; cut : int; passes : int; swaps : int }
+
+val run :
+  ?config:config ->
+  ?init:int array ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  result

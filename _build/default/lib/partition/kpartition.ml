@@ -1,0 +1,179 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Rng = Mlpart_util.Rng
+
+type t = {
+  h : H.t;
+  k : int;
+  side : int array;
+  pins_on : int array; (* (k * e) + p *)
+  spans : int array; (* per net *)
+  areas : int array; (* per part *)
+  mutable cut : int;
+  mutable sum_degrees : int;
+}
+
+let compute_state h k side =
+  let m = H.num_nets h in
+  let pins_on = Array.make (k * m) 0 in
+  let spans = Array.make m 0 in
+  let cut = ref 0 in
+  let sum_degrees = ref 0 in
+  for e = 0 to m - 1 do
+    H.iter_pins_of h e (fun v ->
+        let p = side.(v) in
+        let i = (k * e) + p in
+        if pins_on.(i) = 0 then spans.(e) <- spans.(e) + 1;
+        pins_on.(i) <- pins_on.(i) + 1);
+    let w = H.net_weight h e in
+    if spans.(e) >= 2 then cut := !cut + w;
+    sum_degrees := !sum_degrees + (w * (spans.(e) - 1))
+  done;
+  (pins_on, spans, !cut, !sum_degrees)
+
+let create h ~k side =
+  let n = H.num_modules h in
+  if k < 2 then invalid_arg "Kpartition.create: k < 2";
+  if Array.length side <> n then invalid_arg "Kpartition.create: length mismatch";
+  Array.iteri
+    (fun v p ->
+      if p < 0 || p >= k then
+        invalid_arg (Printf.sprintf "Kpartition.create: part of %d is %d" v p))
+    side;
+  let side = Array.copy side in
+  let areas = Array.make k 0 in
+  for v = 0 to n - 1 do
+    areas.(side.(v)) <- areas.(side.(v)) + H.area h v
+  done;
+  let pins_on, spans, cut, sum_degrees = compute_state h k side in
+  { h; k; side; pins_on; spans; areas; cut; sum_degrees }
+
+let random ?fixed rng h ~k =
+  let n = H.num_modules h in
+  let side = Array.make n (-1) in
+  let areas = Array.make k 0 in
+  (match fixed with
+  | Some f ->
+      Array.iteri
+        (fun v p ->
+          if p >= 0 then begin
+            side.(v) <- p;
+            areas.(p) <- areas.(p) + H.area h v
+          end)
+        f
+  | None -> ());
+  let perm = Rng.permutation rng n in
+  Array.iter
+    (fun v ->
+      if side.(v) < 0 then begin
+        let lightest = ref 0 in
+        for p = 1 to k - 1 do
+          if areas.(p) < areas.(!lightest) then lightest := p
+        done;
+        side.(v) <- !lightest;
+        areas.(!lightest) <- areas.(!lightest) + H.area h v
+      end)
+    perm;
+  create h ~k side
+
+let copy t =
+  {
+    h = t.h;
+    k = t.k;
+    side = Array.copy t.side;
+    pins_on = Array.copy t.pins_on;
+    spans = Array.copy t.spans;
+    areas = Array.copy t.areas;
+    cut = t.cut;
+    sum_degrees = t.sum_degrees;
+  }
+
+let hypergraph t = t.h
+let k t = t.k
+let side t v = t.side.(v)
+let side_array t = Array.copy t.side
+let area_of_part t p = t.areas.(p)
+let pins_on t e p = t.pins_on.((t.k * e) + p)
+let spans t e = t.spans.(e)
+let cut t = t.cut
+let sum_degrees t = t.sum_degrees
+
+type bounds = { lo : int; hi : int }
+
+let bounds ?(tolerance = 0.1) h ~k =
+  let total = H.total_area h in
+  let share = total / k in
+  let slack =
+    Stdlib.max (H.max_area h)
+      (int_of_float (tolerance *. float_of_int total /. float_of_int k))
+  in
+  { lo = Stdlib.max 0 (share - slack); hi = Stdlib.min total (share + slack + k) }
+
+let is_balanced t b =
+  let ok = ref true in
+  for p = 0 to t.k - 1 do
+    if t.areas.(p) < b.lo || t.areas.(p) > b.hi then ok := false
+  done;
+  !ok
+
+let move_is_feasible t b v q =
+  let p = t.side.(v) in
+  p <> q
+  &&
+  let a = H.area t.h v in
+  t.areas.(p) - a >= b.lo && t.areas.(q) + a <= b.hi
+
+let move t v q =
+  let p = t.side.(v) in
+  if p <> q then begin
+    let a = H.area t.h v in
+    t.side.(v) <- q;
+    t.areas.(p) <- t.areas.(p) - a;
+    t.areas.(q) <- t.areas.(q) + a;
+    H.iter_nets_of t.h v (fun e ->
+        let w = H.net_weight t.h e in
+        let pi = (t.k * e) + p and qi = (t.k * e) + q in
+        let old_spans = t.spans.(e) in
+        t.pins_on.(pi) <- t.pins_on.(pi) - 1;
+        t.pins_on.(qi) <- t.pins_on.(qi) + 1;
+        let spans' =
+          old_spans
+          - (if t.pins_on.(pi) = 0 then 1 else 0)
+          + if t.pins_on.(qi) = 1 then 1 else 0
+        in
+        if spans' <> old_spans then begin
+          t.spans.(e) <- spans';
+          t.sum_degrees <- t.sum_degrees + (w * (spans' - old_spans));
+          if old_spans >= 2 && spans' < 2 then t.cut <- t.cut - w
+          else if old_spans < 2 && spans' >= 2 then t.cut <- t.cut + w
+        end)
+  end
+
+let rebalance ?fixed rng t b =
+  let n = H.num_modules t.h in
+  let is_free v = match fixed with Some f -> f.(v) < 0 | None -> true in
+  let moves = ref 0 in
+  let guard = ref (16 * (n + 1)) in
+  while not (is_balanced t b) do
+    decr guard;
+    if !guard = 0 then failwith "Kpartition.rebalance: bounds unsatisfiable";
+    (* Heaviest over-full part donates to the lightest part. *)
+    let heavy = ref 0 and light = ref 0 in
+    for p = 1 to t.k - 1 do
+      if t.areas.(p) > t.areas.(!heavy) then heavy := p;
+      if t.areas.(p) < t.areas.(!light) then light := p
+    done;
+    let rec pick tries =
+      if tries = 0 then failwith "Kpartition.rebalance: no movable module"
+      else
+        let v = Rng.int rng n in
+        if t.side.(v) = !heavy && is_free v then v else pick (tries - 1)
+    in
+    let v = pick (8 * n) in
+    move t v !light;
+    incr moves
+  done;
+  !moves
+
+let recompute_cut t =
+  let _, _, cut, _ = compute_state t.h t.k t.side in
+  cut

@@ -1,0 +1,60 @@
+(** Mutable k-way partition state (k >= 2) for the quadrisection engines.
+
+    Tracks per-net pin counts in every part, the number of parts each net
+    spans, part areas, the weighted net cut (nets spanning >= 2 parts) and
+    the weighted sum-of-cluster-degrees objective [Σ w(e) * (spans(e) - 1)]
+    — the two gain objectives of the paper's §III.C. *)
+
+type t
+
+val create : Mlpart_hypergraph.Hypergraph.t -> k:int -> int array -> t
+(** Adopt (copy) a part assignment in [0 .. k-1]. *)
+
+val random :
+  ?fixed:int array ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  k:int ->
+  t
+(** Random balanced assignment: modules in random order go to the currently
+    lightest part.  [fixed.(v) >= 0] pre-assigns module [v] (the paper's
+    pre-placed I/O pads); [-1] means free. *)
+
+val copy : t -> t
+val hypergraph : t -> Mlpart_hypergraph.Hypergraph.t
+val k : t -> int
+val side : t -> int -> int
+val side_array : t -> int array
+val area_of_part : t -> int -> int
+val pins_on : t -> int -> int -> int
+(** [pins_on t e p]: pins of net [e] in part [p]. *)
+
+val spans : t -> int -> int
+(** Number of parts net [e] touches. *)
+
+val cut : t -> int
+(** Weighted count of nets spanning at least two parts. *)
+
+val sum_degrees : t -> int
+(** Weighted [Σ (spans(e) - 1)]. *)
+
+type bounds = { lo : int; hi : int }
+
+val bounds : ?tolerance:float -> Mlpart_hypergraph.Hypergraph.t -> k:int -> bounds
+(** Per-part area window [A(V)/k ± max (A(v_max), r * A(V) / k)]. *)
+
+val is_balanced : t -> bounds -> bool
+
+val move_is_feasible : t -> bounds -> int -> int -> bool
+(** [move_is_feasible t b v q]: would moving [v] to part [q] keep both the
+    source and destination parts within [b]? *)
+
+val move : t -> int -> int -> unit
+(** [move t v q] reassigns module [v] to part [q]. *)
+
+val rebalance : ?fixed:int array -> Mlpart_util.Rng.t -> t -> bounds -> int
+(** Move random free modules from over-full to under-full parts until
+    balanced; returns the move count. *)
+
+val recompute_cut : t -> int
+(** From-scratch verification of [cut]. *)

@@ -1,0 +1,52 @@
+(** Sanchis-style multi-way FM (without lookahead), the paper's
+    quadrisection refinement engine (§III.C).
+
+    A pass maintains one gain bucket per ordered part pair (p, q); each free
+    module has k-1 candidate moves.  The paper reports quadrisection results
+    with the sum-of-cluster-degrees gain; the plain net-cut gain is also
+    provided.  Modules can be pre-assigned (I/O pads) and are then never
+    moved. *)
+
+type objective =
+  | Net_cut
+  | Sum_degrees
+  | Custom of (weight:int -> spans_before:int -> spans_after:int -> int)
+      (** the paper's "generic gain computations" [24]: the function
+          returns the gain a net contributes to a move that changes its
+          spanned-part count as given (positive = improvement).  Must
+          return 0 when the spans do not change, and stay within
+          [±weight * k] so gains fit the bucket range. *)
+
+type config = {
+  objective : objective;
+  policy : Gain_bucket.policy;
+  net_threshold : int;
+  tolerance : float;
+  max_passes : int;
+}
+
+val default : config
+(** Sum-of-degrees, LIFO, threshold 200, tolerance 0.1. *)
+
+type result = {
+  side : int array;
+  cut : int;  (** weighted count of nets spanning >= 2 parts *)
+  sum_degrees : int;
+  passes : int;
+  moves : int;
+}
+
+val run :
+  ?config:config ->
+  ?init:int array ->
+  ?fixed:int array ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  k:int ->
+  result
+(** [run rng h ~k] partitions into [k] parts.  [init] refines a given
+    assignment (rebalanced first when needed); [fixed.(v) >= 0] pins module
+    [v] to a part. *)
+
+val cut_of : Mlpart_hypergraph.Hypergraph.t -> k:int -> int array -> int
+(** Weighted multi-way cut of an assignment. *)

@@ -1,0 +1,1 @@
+lib/placement/gordian.ml: Array Mlpart_hypergraph Mlpart_partition Quadratic Stdlib

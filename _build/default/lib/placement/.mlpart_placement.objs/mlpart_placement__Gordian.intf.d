@@ -1,0 +1,1 @@
+lib/placement/gordian.mli: Mlpart_hypergraph

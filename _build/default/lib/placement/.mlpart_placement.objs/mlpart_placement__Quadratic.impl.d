@@ -1,0 +1,1 @@
+lib/placement/quadratic.ml: Array List Mlpart_hypergraph Stdlib

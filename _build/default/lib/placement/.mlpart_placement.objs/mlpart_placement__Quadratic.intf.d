@@ -1,0 +1,1 @@
+lib/placement/quadratic.mli: Mlpart_hypergraph

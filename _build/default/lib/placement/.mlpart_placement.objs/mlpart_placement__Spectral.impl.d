@@ -1,0 +1,1 @@
+lib/placement/spectral.ml: Array List Mlpart_hypergraph Mlpart_partition Mlpart_util Quadratic Stdlib

@@ -1,0 +1,1 @@
+lib/placement/spectral.mli: Mlpart_hypergraph Mlpart_partition

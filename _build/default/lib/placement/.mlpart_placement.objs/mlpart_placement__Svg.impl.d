@@ -1,0 +1,1 @@
+lib/placement/svg.ml: Array Buffer Mlpart_hypergraph Out_channel Printf Stdlib

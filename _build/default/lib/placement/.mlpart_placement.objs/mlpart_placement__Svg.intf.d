@@ -1,0 +1,1 @@
+lib/placement/svg.mli: Mlpart_hypergraph

@@ -1,0 +1,1 @@
+lib/placement/topdown.ml: Array Fun Gordian Hashtbl List Mlpart_hypergraph Mlpart_multilevel Mlpart_util Quadratic Stdlib

@@ -1,0 +1,1 @@
+lib/placement/topdown.mli: Mlpart_hypergraph Mlpart_multilevel Mlpart_util

@@ -1,0 +1,39 @@
+(** Quadratic (analytical) placement substrate for the GORDIAN baseline.
+
+    Minimises the squared-wirelength objective [x' L x] over the free
+    modules, with selected modules fixed (the I/O pads GORDIAN pre-places).
+    Nets are expanded with the standard clique model — every pin pair of a
+    net [e] gets an edge of weight [2 w(e) / |e|] — with a chain fallback
+    for very large nets to keep the Laplacian sparse.  The linear system
+    [L_ff x_f = -L_fp x_p] is solved by Jacobi-preconditioned conjugate
+    gradients. *)
+
+type t
+(** Sparse symmetric Laplacian system built from a hypergraph. *)
+
+val net_model_edges :
+  ?clique_limit:int -> Mlpart_hypergraph.Hypergraph.t -> (int * int * float) list
+(** The weighted 2-pin expansion used for the Laplacian: clique model
+    (weight [2 w / |e|] per pair) for nets up to [clique_limit] pins
+    (default 32), chain model beyond.  Shared with {!Spectral}. *)
+
+val build :
+  ?clique_limit:int ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  fixed:(int * float) list ->
+  t
+(** [build h ~fixed] prepares the system for one axis: [fixed] lists
+    [(module, coordinate)] pins.  Nets larger than [clique_limit] pins
+    (default 32) use the chain model.  At least one module must be fixed
+    (otherwise the quadratic form is singular); raises [Invalid_argument]
+    if [fixed] is empty. *)
+
+val solve : ?tol:float -> ?max_iter:int -> t -> float array
+(** Coordinates for all modules (fixed ones at their pinned positions).
+    Defaults: [tol = 1e-7] (relative residual), [max_iter = 1000]. *)
+
+val residual : t -> float array -> float
+(** Relative residual norm of a solution — used by tests. *)
+
+val hpwl : Mlpart_hypergraph.Hypergraph.t -> x:float array -> y:float array -> float
+(** Weighted half-perimeter wirelength of a 2-D placement. *)

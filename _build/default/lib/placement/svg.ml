@@ -1,0 +1,54 @@
+module H = Mlpart_hypergraph.Hypergraph
+
+let palette =
+  [| "#4363d8"; "#e6194b"; "#3cb44b"; "#f58231"; "#911eb4"; "#46f0f0";
+     "#f032e6"; "#808000" |]
+
+let render ?side ?(draw_nets = false) ?(size = 800) h ~x ~y =
+  let n = H.num_modules h in
+  let buf = Buffer.create (64 * n) in
+  let px v = v *. float_of_int size in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n"
+       size size size size);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect width=\"%d\" height=\"%d\" fill=\"white\" stroke=\"#888\"/>\n"
+       size size);
+  if draw_nets then
+    for e = 0 to H.num_nets h - 1 do
+      if H.net_size h e <= 8 then begin
+        let cx = ref 0.0 and cy = ref 0.0 in
+        H.iter_pins_of h e (fun v ->
+            cx := !cx +. x.(v);
+            cy := !cy +. y.(v));
+        let count = float_of_int (H.net_size h e) in
+        let cx = !cx /. count and cy = !cy /. count in
+        H.iter_pins_of h e (fun v ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+                  stroke=\"#ccc\" stroke-width=\"0.5\"/>\n"
+                 (px x.(v)) (px y.(v)) (px cx) (px cy)))
+      end
+    done;
+  let radius = Stdlib.max 1.0 (float_of_int size /. 300.0) in
+  for v = 0 to n - 1 do
+    let colour =
+      match side with
+      | Some s -> palette.(s.(v) mod Array.length palette)
+      | None -> "#333333"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\"/>\n"
+         (px x.(v)) (px y.(v)) radius colour)
+  done;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write ?side ?draw_nets ?size path h ~x ~y =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (render ?side ?draw_nets ?size h ~x ~y))

@@ -1,0 +1,27 @@
+(** SVG rendering of placements and partitions, for eyeballing results
+    (`mlpart place --svg`).  Modules are dots coloured by part (when a
+    side assignment is given); nets can optionally be drawn as star
+    connections to their centroid. *)
+
+val render :
+  ?side:int array ->
+  ?draw_nets:bool ->
+  ?size:int ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  x:float array ->
+  y:float array ->
+  string
+(** Coordinates are expected in the unit square; [size] is the output
+    pixel width/height (default 800).  [draw_nets] (default false: nets
+    dominate visually on big circuits) draws centroid stars for nets of
+    up to 8 pins. *)
+
+val write :
+  ?side:int array ->
+  ?draw_nets:bool ->
+  ?size:int ->
+  string ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  x:float array ->
+  y:float array ->
+  unit

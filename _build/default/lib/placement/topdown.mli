@@ -1,0 +1,54 @@
+(** Top-down standard-cell placement by recursive multilevel quadrisection —
+    the application the paper's quadrisection work powers (§III.C and [24],
+    "Partitioning-Based Standard-Cell Global Placement").
+
+    The die (unit square) is recursively split into quadrants.  At each
+    region, a sub-netlist is extracted and partitioned 4-ways with the
+    multilevel engine; nets that leave the region are handled by a
+    configurable {e terminal propagation} model — external pins become
+    fixed dummy terminals pre-assigned to the quadrant nearest their
+    current location, steering the partitioner the way the eventual routes
+    will pull.  I/O pads are pre-placed on the die boundary and act as
+    external terminals throughout.
+
+    The result is a coordinate for every module and the half-perimeter
+    wirelength of the global placement. *)
+
+type terminal_model =
+  | Ignore_external
+      (** cut nets crossing the region boundary are simply truncated *)
+  | Propagate_to_quadrant
+      (** external pins of a net become a fixed terminal in the quadrant
+          nearest their centroid (the standard Dunlop–Kernighan scheme) *)
+
+type config = {
+  leaf_size : int;  (** stop recursing below this many modules (default 12) *)
+  terminal_model : terminal_model;
+  num_pads : int option;  (** as in {!Gordian.config} *)
+  ml : Mlpart_multilevel.Ml_multiway.config;  (** quadrisection engine *)
+}
+
+val default : config
+(** Terminal propagation on, MLf quadrisection as in Table IX. *)
+
+type result = {
+  x : float array;
+  y : float array;
+  hpwl : float;
+  regions : int;  (** quadrisection calls performed *)
+  pads : int array;
+}
+
+val run : ?config:config -> Mlpart_util.Rng.t -> Mlpart_hypergraph.Hypergraph.t -> result
+
+val grid_legalize :
+  Mlpart_hypergraph.Hypergraph.t ->
+  x:float array ->
+  y:float array ->
+  float array * float array
+(** Snap an (overlapping) analytic placement to a uniform √n x √n grid
+    preserving the relative ordering: modules are sorted into equal-size
+    columns by [x], then spaced by [y] within each column.  Makes
+    HPWL comparisons against {!run} (whose leaves are already spread)
+    meaningful — analytic placements otherwise understate wirelength by
+    stacking cells at the die centre. *)

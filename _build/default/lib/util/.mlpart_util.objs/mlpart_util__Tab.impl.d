@@ -1,0 +1,1 @@
+lib/util/tab.ml: Array Buffer List Printf String

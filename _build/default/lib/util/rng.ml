@@ -1,0 +1,51 @@
+(* SplitMix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  Chosen for statistical quality at trivial
+   implementation cost and because the state is a single int64, making
+   [split] and [copy] cheap. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = max_int in
+  let v = Int64.to_int (bits64 t) land mask in
+  v mod bound
+
+let float t bound =
+  (* 53 uniform mantissa bits. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a

@@ -1,0 +1,48 @@
+(* Welford's online algorithm keeps the variance numerically stable for the
+   long golem3-sized runs without storing observations. *)
+
+type t = {
+  mutable n : int;
+  mutable mn : float;
+  mutable mx : float;
+  mutable mean : float;
+  mutable m2 : float;
+}
+
+let create () = { n = 0; mn = infinity; mx = neg_infinity; mean = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+let count t = t.n
+
+let ensure_nonempty t name =
+  if t.n = 0 then invalid_arg (Printf.sprintf "Stats.%s: empty accumulator" name)
+
+let min t =
+  ensure_nonempty t "min";
+  t.mn
+
+let max t =
+  ensure_nonempty t "max";
+  t.mx
+
+let mean t =
+  ensure_nonempty t "mean";
+  t.mean
+
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int t.n)
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let summary t =
+  if t.n = 0 then "(empty)"
+  else Printf.sprintf "%.1f/%.1f/%.1f" (min t) (mean t) (stddev t)

@@ -1,0 +1,33 @@
+(** Streaming min / max / mean / standard-deviation accumulators.
+
+    Every table of the paper reports minimum, average and standard deviation
+    over repeated runs; this module provides the single-pass accumulator used
+    by the whole experiment harness. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+
+val min : t -> float
+(** Minimum observation; raises [Invalid_argument] when empty. *)
+
+val max : t -> float
+(** Maximum observation; raises [Invalid_argument] when empty. *)
+
+val mean : t -> float
+(** Arithmetic mean; raises [Invalid_argument] when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation (the paper reports spread of all runs);
+    0 for fewer than two observations. *)
+
+val of_list : float list -> t
+
+val summary : t -> string
+(** ["min/avg/std"] rendering used in log lines. *)

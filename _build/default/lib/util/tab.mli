@@ -1,0 +1,24 @@
+(** Fixed-width ASCII table rendering for the experiment reports.
+
+    The bench harness prints each reproduced table of the paper in the same
+    row/column shape as published; this module handles alignment. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out [rows] under [header] with columns padded
+    to the widest cell.  [align] gives per-column alignment (default: first
+    column left, the rest right).  Rows shorter than the header are padded
+    with empty cells. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fi : int -> string
+(** Decimal rendering of an int. *)
+
+val ff1 : float -> string
+(** One-decimal rendering of a float. *)
+
+val ff2 : float -> string
+(** Two-decimal rendering of a float. *)

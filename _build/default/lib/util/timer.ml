@@ -1,0 +1,9 @@
+(* Sys.time reports processor time, matching the "CPU seconds" columns of
+   the paper rather than wall-clock latency. *)
+
+let now () = Sys.time ()
+
+let time f =
+  let start = now () in
+  let result = f () in
+  (result, now () -. start)

@@ -1,0 +1,8 @@
+(** CPU timing for the CPU-seconds columns of the reproduced tables. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    processor seconds. *)
+
+val now : unit -> float
+(** Processor time in seconds since program start ([Sys.time]). *)

@@ -1,0 +1,1 @@
+test/test_fm.ml: Alcotest Array Filename Fun List Mlpart_gen Mlpart_hypergraph Mlpart_multilevel Mlpart_partition Mlpart_util Out_channel Printf QCheck QCheck_alcotest Stdlib Sys

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Buffer Format List Mlpart_gen Mlpart_hypergraph Mlpart_partition Mlpart_util QCheck QCheck_alcotest Stdlib String

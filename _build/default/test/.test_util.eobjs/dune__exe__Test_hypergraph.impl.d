@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array Buffer Filename Format Fun List Mlpart_gen Mlpart_hypergraph Mlpart_util Out_channel QCheck QCheck_alcotest Stdlib String Sys

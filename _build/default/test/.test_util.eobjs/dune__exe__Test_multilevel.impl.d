@@ -1,0 +1,1 @@
+test/test_multilevel.ml: Alcotest Array Fun List Mlpart_gen Mlpart_hypergraph Mlpart_multilevel Mlpart_partition Mlpart_util QCheck QCheck_alcotest Stdlib

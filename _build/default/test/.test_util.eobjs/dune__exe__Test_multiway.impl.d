@@ -1,0 +1,1 @@
+test/test_multiway.ml: Alcotest Array Mlpart_gen Mlpart_hypergraph Mlpart_partition Mlpart_util QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Gen Hashtbl List Mlpart_gen Mlpart_hypergraph Mlpart_partition Mlpart_util Printf QCheck QCheck_alcotest

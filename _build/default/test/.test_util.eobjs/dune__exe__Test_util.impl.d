@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen List Mlpart_util QCheck QCheck_alcotest String

@@ -1,0 +1,222 @@
+(* Tests for the synthetic netlist generators and the Table I suite. *)
+
+module H = Mlpart_hypergraph.Hypergraph
+module Gen = Mlpart_gen.Generate
+module Suite = Mlpart_gen.Suite
+module Rng = Mlpart_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- structured generators ---- *)
+
+let test_ring () =
+  let h = Gen.ring 10 in
+  check Alcotest.int "modules" 10 (H.num_modules h);
+  check Alcotest.int "nets" 10 (H.num_nets h);
+  check Alcotest.int "pins" 20 (H.num_pins h);
+  (* every module has degree 2 *)
+  for v = 0 to 9 do
+    check Alcotest.int "degree" 2 (H.module_degree h v)
+  done;
+  (* a contiguous split cuts exactly 2 nets *)
+  let side = Array.init 10 (fun v -> if v < 5 then 0 else 1) in
+  check Alcotest.int "contiguous cut" 2 (Mlpart_partition.Fm.cut_of h side)
+
+let test_ring_rejects_small () =
+  (match Gen.ring 2 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ())
+
+let test_grid () =
+  let h = Gen.grid 3 4 in
+  check Alcotest.int "modules" 12 (H.num_modules h);
+  (* 3*(4-1) horizontal + (3-1)*4 vertical *)
+  check Alcotest.int "nets" 17 (H.num_nets h);
+  (* splitting between columns 1 and 2 cuts one net per row *)
+  let side = Array.init 12 (fun v -> if v mod 4 < 2 then 0 else 1) in
+  check Alcotest.int "column cut" 3 (Mlpart_partition.Fm.cut_of h side)
+
+let test_clique () =
+  let h = Gen.clique 6 in
+  check Alcotest.int "nets" 15 (H.num_nets h);
+  (* any 3/3 split cuts 9 edges *)
+  let side = Array.init 6 (fun v -> if v < 3 then 0 else 1) in
+  check Alcotest.int "bisection cut" 9 (Mlpart_partition.Fm.cut_of h side)
+
+let test_caterpillar () =
+  let h = Gen.caterpillar ~spine:5 ~legs:3 () in
+  check Alcotest.int "modules" 20 (H.num_modules h);
+  check Alcotest.int "nets" 4 (H.num_nets h);
+  check Alcotest.int "net size" 5 (H.net_size h 0)
+
+(* ---- random generators ---- *)
+
+let test_rent_counts () =
+  let rng = Rng.create 1 in
+  let h = Gen.rent ~rng ~modules:500 ~nets:600 ~pins:2000 () in
+  check Alcotest.int "modules exact" 500 (H.num_modules h);
+  check Alcotest.bool "nets close" true
+    (H.num_nets h > 550 && H.num_nets h <= 600);
+  let pins = H.num_pins h in
+  check Alcotest.bool "pins within 15%" true
+    (float_of_int (abs (pins - 2000)) < 0.15 *. 2000.0)
+
+let test_rent_deterministic () =
+  let gen () =
+    let rng = Rng.create 7 in
+    Gen.rent ~rng ~modules:100 ~nets:120 ~pins:400 ()
+  in
+  let a = gen () and b = gen () in
+  check Alcotest.string "same netlist"
+    (Mlpart_hypergraph.Hgr_io.to_string a)
+    (Mlpart_hypergraph.Hgr_io.to_string b)
+
+let test_rent_locality_lowers_cut () =
+  (* More locality must give lower achievable cuts on average. *)
+  let cut_at locality =
+    let grng = Rng.create 3 in
+    let h = Gen.rent ~locality ~rng:grng ~modules:600 ~nets:700 ~pins:2200 () in
+    let rng = Rng.create 5 in
+    let best = ref max_int in
+    for _ = 1 to 3 do
+      let r = Mlpart_partition.Fm.run ~config:Mlpart_partition.Fm.clip
+                (Rng.split rng) h in
+      best := Stdlib.min !best r.Mlpart_partition.Fm.cut
+    done;
+    !best
+  in
+  check Alcotest.bool "local < unstructured" true (cut_at 0.9 < cut_at 0.0)
+
+let test_rent_rejects_bad_args () =
+  let rng = Rng.create 1 in
+  let expect f =
+    match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  expect (fun () -> Gen.rent ~rng ~modules:2 ~nets:5 ~pins:20 ());
+  expect (fun () -> Gen.rent ~rng ~modules:10 ~nets:0 ~pins:20 ());
+  expect (fun () -> Gen.rent ~rng ~modules:10 ~nets:5 ~pins:5 ());
+  expect (fun () -> Gen.rent ~locality:1.0 ~rng ~modules:10 ~nets:5 ~pins:20 ())
+
+let test_random_generator () =
+  let rng = Rng.create 2 in
+  let h = Gen.random ~rng ~modules:200 ~nets:250 ~pins:800 () in
+  check Alcotest.int "modules" 200 (H.num_modules h);
+  check Alcotest.bool "net sizes >= 2" true
+    (let ok = ref true in
+     for e = 0 to H.num_nets h - 1 do
+       if H.net_size h e < 2 then ok := false
+     done;
+     !ok)
+
+(* ---- suite ---- *)
+
+let test_suite_has_23_circuits () =
+  check Alcotest.int "Table I size" 23 (List.length Suite.all)
+
+let test_suite_find () =
+  let s = Suite.find "golem3" in
+  check Alcotest.int "golem3 modules" 103048 s.Suite.modules;
+  check Alcotest.int "golem3 nets" 144949 s.Suite.nets;
+  (match Suite.find "nonexistent" with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ())
+
+let test_suite_tiers_nested () =
+  let size t = List.length (Suite.tier_specs t) in
+  check Alcotest.bool "tiny < small < standard < full" true
+    (size Suite.Tiny < size Suite.Small
+    && size Suite.Small < size Suite.Standard
+    && size Suite.Standard < size Suite.Full);
+  check Alcotest.int "full is everything" 23 (size Suite.Full)
+
+let test_suite_tier_parse () =
+  check Alcotest.bool "small parses" true (Suite.tier_of_string "small" = Some Suite.Small);
+  check Alcotest.bool "unknown rejected" true (Suite.tier_of_string "giant" = None)
+
+let test_suite_instantiate_counts () =
+  let spec = Suite.find "balu" in
+  let h = Suite.instantiate spec in
+  check Alcotest.int "modules exact" spec.Suite.modules (H.num_modules h);
+  check Alcotest.string "named" "balu" (H.name h);
+  (* realised nets/pins within 10% of the published counts *)
+  let close real target =
+    float_of_int (abs (real - target)) < 0.10 *. float_of_int target
+  in
+  check Alcotest.bool "nets close" true (close (H.num_nets h) spec.Suite.nets);
+  check Alcotest.bool "pins close" true (close (H.num_pins h) spec.Suite.pins)
+
+let test_suite_instantiate_deterministic () =
+  let spec = Suite.find "bm1" in
+  let a = Suite.instantiate ~seed:4 spec and b = Suite.instantiate ~seed:4 spec in
+  check Alcotest.string "identical"
+    (Mlpart_hypergraph.Hgr_io.to_string a)
+    (Mlpart_hypergraph.Hgr_io.to_string b);
+  let c = Suite.instantiate ~seed:5 spec in
+  check Alcotest.bool "seed changes structure" true
+    (Mlpart_hypergraph.Hgr_io.to_string a <> Mlpart_hypergraph.Hgr_io.to_string c)
+
+let test_suite_table1_renders () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Suite.pp_table1 ppf (Suite.tier_specs Suite.Tiny);
+  Format.pp_print_flush ppf ();
+  check Alcotest.bool "mentions balu" true
+    (let s = Buffer.contents buf in
+     String.length s > 0
+     &&
+     let re_found = ref false in
+     String.split_on_char '\n' s
+     |> List.iter (fun line ->
+            if String.length line >= 4 && String.sub line 0 4 = "balu" then
+              re_found := true);
+     !re_found)
+
+let prop_rent_valid =
+  QCheck.Test.make ~name:"rent output is always a valid hypergraph" ~count:40
+    QCheck.(triple small_int (int_range 10 200) (int_range 10 200))
+    (fun (seed, modules, nets) ->
+      let modules = Stdlib.max 4 modules in
+      let pins = 3 * nets in
+      let rng = Rng.create seed in
+      let h = Gen.rent ~rng ~modules ~nets ~pins () in
+      (* validity is enforced by Hypergraph.make; check sane ranges here *)
+      H.num_modules h = modules && H.num_nets h <= nets && H.num_pins h >= 0)
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "structured",
+        [
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "ring rejects small" `Quick test_ring_rejects_small;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "clique" `Quick test_clique;
+          Alcotest.test_case "caterpillar" `Quick test_caterpillar;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "rent counts" `Quick test_rent_counts;
+          Alcotest.test_case "rent deterministic" `Quick test_rent_deterministic;
+          Alcotest.test_case "locality lowers cut" `Slow
+            test_rent_locality_lowers_cut;
+          Alcotest.test_case "rent rejects bad args" `Quick
+            test_rent_rejects_bad_args;
+          Alcotest.test_case "random generator" `Quick test_random_generator;
+          qtest prop_rent_valid;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "23 circuits" `Quick test_suite_has_23_circuits;
+          Alcotest.test_case "find" `Quick test_suite_find;
+          Alcotest.test_case "tiers nested" `Quick test_suite_tiers_nested;
+          Alcotest.test_case "tier parse" `Quick test_suite_tier_parse;
+          Alcotest.test_case "instantiate counts" `Quick
+            test_suite_instantiate_counts;
+          Alcotest.test_case "instantiate deterministic" `Quick
+            test_suite_instantiate_deterministic;
+          Alcotest.test_case "table1 renders" `Quick test_suite_table1_renders;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Tests for the Sanchis-style multiway FM engine. *)
+
+module H = Mlpart_hypergraph.Hypergraph
+module Kp = Mlpart_partition.Kpartition
+module Mw = Mlpart_partition.Multiway
+module Rng = Mlpart_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let random_instance ?(modules = 100) seed =
+  let rng = Rng.create seed in
+  Mlpart_gen.Generate.rent ~rng ~modules ~nets:(modules * 5 / 4)
+    ~pins:(7 * modules / 2) ()
+
+(* Four 6-module cliques joined in a ring by bridge nets: the natural 4-way
+   partition cuts exactly the 4 bridges. *)
+let four_cliques () =
+  let b = Mlpart_hypergraph.Builder.create ~name:"four-cliques" () in
+  Mlpart_hypergraph.Builder.add_modules b 24;
+  for c = 0 to 3 do
+    let base = 6 * c in
+    for v = 0 to 5 do
+      for w = v + 1 to 5 do
+        Mlpart_hypergraph.Builder.add_net b [ base + v; base + w ]
+      done
+    done
+  done;
+  for c = 0 to 3 do
+    Mlpart_hypergraph.Builder.add_net b [ 6 * c; 6 * ((c + 1) mod 4) ]
+  done;
+  Mlpart_hypergraph.Builder.build b
+
+let balanced h k side =
+  Kp.is_balanced (Kp.create h ~k side) (Kp.bounds h ~k)
+
+let test_finds_four_cliques () =
+  let h = four_cliques () in
+  let best = ref max_int in
+  for seed = 1 to 6 do
+    let r = Mw.run (Rng.create seed) h ~k:4 in
+    best := Stdlib.min !best r.Mw.cut
+  done;
+  check Alcotest.int "optimal 4-way cut" 4 !best
+
+let test_result_consistent_soed () =
+  let h = random_instance 1 in
+  let r = Mw.run (Rng.create 2) h ~k:4 in
+  check Alcotest.int "cut matches recount" (Mw.cut_of h ~k:4 r.Mw.side) r.Mw.cut;
+  let kp = Kp.create h ~k:4 r.Mw.side in
+  check Alcotest.int "soed matches recount" (Kp.sum_degrees kp) r.Mw.sum_degrees;
+  check Alcotest.bool "balanced" true (balanced h 4 r.Mw.side)
+
+let test_result_consistent_netcut () =
+  let h = random_instance 3 in
+  let config = { Mw.default with objective = Mw.Net_cut } in
+  let r = Mw.run ~config (Rng.create 4) h ~k:4 in
+  check Alcotest.int "cut matches recount" (Mw.cut_of h ~k:4 r.Mw.side) r.Mw.cut;
+  check Alcotest.bool "balanced" true (balanced h 4 r.Mw.side)
+
+let test_k2_matches_bipartition_quality () =
+  (* k = 2 multiway should find cuts in the same league as FM. *)
+  let h = random_instance 5 in
+  let mw = Mw.run ~config:{ Mw.default with objective = Mw.Net_cut }
+             (Rng.create 6) h ~k:2 in
+  let fm = Mlpart_partition.Fm.run (Rng.create 6) h in
+  check Alcotest.bool "within 3x of FM" true
+    (mw.Mw.cut <= 3 * Stdlib.max 1 fm.Mlpart_partition.Fm.cut)
+
+let test_fixed_modules_unmoved () =
+  let h = random_instance 7 in
+  let fixed = Array.make (H.num_modules h) (-1) in
+  fixed.(0) <- 2;
+  fixed.(5) <- 0;
+  fixed.(9) <- 3;
+  let r = Mw.run ~fixed (Rng.create 8) h ~k:4 in
+  check Alcotest.int "module 0 pinned" 2 r.Mw.side.(0);
+  check Alcotest.int "module 5 pinned" 0 r.Mw.side.(5);
+  check Alcotest.int "module 9 pinned" 3 r.Mw.side.(9)
+
+let test_init_refinement_never_worsens () =
+  let h = random_instance 9 in
+  let start = Kp.random (Rng.create 10) h ~k:4 in
+  let init = Kp.side_array start in
+  let r = Mw.run ~init (Rng.create 11) h ~k:4 in
+  check Alcotest.bool "no worse than start" true (r.Mw.cut <= Kp.cut start)
+
+let test_rejects_k1 () =
+  let h = random_instance 12 in
+  (match Mw.run (Rng.create 1) h ~k:1 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ())
+
+let test_deterministic () =
+  let h = random_instance 13 in
+  let a = Mw.run (Rng.create 14) h ~k:4 and b = Mw.run (Rng.create 14) h ~k:4 in
+  check Alcotest.(array int) "same assignment" a.Mw.side b.Mw.side
+
+let test_max_passes () =
+  let h = random_instance 24 in
+  let config = { Mw.default with max_passes = 1 } in
+  let r = Mw.run ~config (Rng.create 25) h ~k:4 in
+  check Alcotest.int "single pass" 1 r.Mw.passes
+
+let test_custom_objective () =
+  (* A custom gain equal to the sum-of-degrees delta must behave exactly
+     like Sum_degrees. *)
+  let h = random_instance 20 in
+  let soed_gain ~weight ~spans_before ~spans_after =
+    weight * (spans_before - spans_after)
+  in
+  let custom = { Mw.default with objective = Mw.Custom soed_gain } in
+  let a = Mw.run ~config:custom (Rng.create 21) h ~k:4 in
+  let b = Mw.run ~config:Mw.default (Rng.create 21) h ~k:4 in
+  check Alcotest.(array int) "same trajectory as Sum_degrees" b.Mw.side a.Mw.side
+
+let test_custom_objective_quadratic () =
+  (* A super-linear spans penalty still yields a consistent result. *)
+  let h = random_instance 22 in
+  let quadratic ~weight ~spans_before ~spans_after =
+    weight * ((spans_before * spans_before) - (spans_after * spans_after))
+  in
+  let config = { Mw.default with objective = Mw.Custom quadratic } in
+  let r = Mw.run ~config (Rng.create 23) h ~k:4 in
+  check Alcotest.int "cut recount" (Mw.cut_of h ~k:4 r.Mw.side) r.Mw.cut
+
+let prop_consistent_both_objectives =
+  QCheck.Test.make ~name:"multiway consistent for both gains and k in 2..5"
+    ~count:25
+    QCheck.(triple small_int (int_range 2 5) bool)
+    (fun (seed, k, soed) ->
+      let h = random_instance ~modules:60 seed in
+      let config =
+        { Mw.default with objective = (if soed then Mw.Sum_degrees else Mw.Net_cut) }
+      in
+      let r = Mw.run ~config (Rng.create (seed + 20)) h ~k in
+      r.Mw.cut = Mw.cut_of h ~k r.Mw.side && balanced h k r.Mw.side)
+
+let () =
+  Alcotest.run "multiway"
+    [
+      ( "multiway",
+        [
+          Alcotest.test_case "finds four cliques" `Quick test_finds_four_cliques;
+          Alcotest.test_case "consistent (soed)" `Quick test_result_consistent_soed;
+          Alcotest.test_case "consistent (net cut)" `Quick
+            test_result_consistent_netcut;
+          Alcotest.test_case "k=2 sane" `Quick test_k2_matches_bipartition_quality;
+          Alcotest.test_case "fixed unmoved" `Quick test_fixed_modules_unmoved;
+          Alcotest.test_case "refinement monotone" `Quick
+            test_init_refinement_never_worsens;
+          Alcotest.test_case "rejects k=1" `Quick test_rejects_k1;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "max passes" `Quick test_max_passes;
+          Alcotest.test_case "custom objective = soed" `Quick test_custom_objective;
+          Alcotest.test_case "custom quadratic objective" `Quick
+            test_custom_objective_quadratic;
+          qtest prop_consistent_both_objectives;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Unit and property tests for Mlpart_util: Rng, Stats, Tab, Timer. *)
+
+module Rng = Mlpart_util.Rng
+module Stats = Mlpart_util.Stats
+module Tab = Mlpart_util.Tab
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check Alcotest.bool "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* advancing [a] must not advance [b] *)
+  let b1 = Rng.bits64 b and b2 = Rng.bits64 b in
+  check Alcotest.bool "copy advances on its own" true (b1 <> b2)
+
+let test_rng_split_differs () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  check Alcotest.bool "split stream differs from parent" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_covers_range () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 7) <- true
+  done;
+  check Alcotest.bool "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_bool_balanced () =
+  let rng = Rng.create 13 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool rng then incr trues
+  done;
+  check Alcotest.bool "roughly fair" true (!trues > 4500 && !trues < 5500)
+
+let test_rng_permutation () =
+  let rng = Rng.create 21 in
+  let p = Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check
+    Alcotest.(array int)
+    "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_shuffle_multiset () =
+  let rng = Rng.create 22 in
+  let a = Array.init 20 (fun i -> i mod 5) in
+  let original = Array.copy a in
+  Rng.shuffle_in_place rng a;
+  Array.sort compare a;
+  Array.sort compare original;
+  check Alcotest.(array int) "multiset preserved" original a
+
+let prop_rng_int_in_bound =
+  QCheck.Test.make ~name:"rng int within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+(* ---- Stats ---- *)
+
+let test_stats_empty_raises () =
+  let s = Stats.create () in
+  Alcotest.check_raises "min on empty"
+    (Invalid_argument "Stats.min: empty accumulator") (fun () ->
+      ignore (Stats.min s))
+
+let test_stats_single () =
+  let s = Stats.of_list [ 5.0 ] in
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 5.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 5.0 (Stats.max s);
+  check (Alcotest.float 1e-9) "std" 0.0 (Stats.stddev s)
+
+let test_stats_known () =
+  let s = Stats.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean s);
+  check (Alcotest.float 1e-9) "std" 2.0 (Stats.stddev s);
+  check (Alcotest.float 1e-9) "min" 2.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 9.0 (Stats.max s);
+  check Alcotest.int "count" 8 (Stats.count s)
+
+let test_stats_summary () =
+  let s = Stats.of_list [ 1.0; 3.0 ] in
+  check Alcotest.string "summary format" "1.0/2.0/1.0" (Stats.summary s);
+  check Alcotest.string "empty summary" "(empty)" (Stats.summary (Stats.create ()))
+
+let prop_stats_matches_naive =
+  QCheck.Test.make ~name:"welford matches naive mean/std" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.of_list xs in
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n
+      in
+      abs_float (Stats.mean s -. mean) < 1e-6 *. (1.0 +. abs_float mean)
+      && abs_float (Stats.stddev s -. sqrt var) < 1e-6 *. (1.0 +. sqrt var))
+
+(* ---- Tab ---- *)
+
+let test_tab_alignment () =
+  let s = Tab.render ~header:[ "name"; "value" ] [ [ "x"; "1" ]; [ "longer"; "22" ] ] in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: _sep :: row1 :: _ ->
+      check Alcotest.string "header padded" "name    value" header;
+      check Alcotest.string "row right-aligned" "x           1" row1
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_tab_short_rows_padded () =
+  let s = Tab.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  check Alcotest.bool "renders without exception" true (String.length s > 0)
+
+let test_tab_custom_alignment () =
+  let s =
+    Tab.render
+      ~align:[ Tab.Right; Tab.Left ]
+      ~header:[ "n"; "label" ]
+      [ [ "1"; "x" ] ]
+  in
+  check Alcotest.bool "right-aligned first column" true
+    (String.length s > 0 && s.[0] = 'n')
+
+let test_tab_formatters () =
+  check Alcotest.string "fi" "42" (Tab.fi 42);
+  check Alcotest.string "ff1" "3.1" (Tab.ff1 3.14);
+  check Alcotest.string "ff2" "3.14" (Tab.ff2 3.14159)
+
+(* ---- Timer ---- *)
+
+let test_timer_returns_result () =
+  let value, elapsed = Mlpart_util.Timer.time (fun () -> 6 * 7) in
+  check Alcotest.int "result" 42 value;
+  check Alcotest.bool "non-negative" true (elapsed >= 0.0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split differs" `Quick test_rng_split_differs;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "shuffle multiset" `Quick test_rng_shuffle_multiset;
+          qtest prop_rng_int_in_bound;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+          Alcotest.test_case "single value" `Quick test_stats_single;
+          Alcotest.test_case "known dataset" `Quick test_stats_known;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          qtest prop_stats_matches_naive;
+        ] );
+      ( "tab",
+        [
+          Alcotest.test_case "alignment" `Quick test_tab_alignment;
+          Alcotest.test_case "short rows" `Quick test_tab_short_rows_padded;
+          Alcotest.test_case "custom alignment" `Quick test_tab_custom_alignment;
+          Alcotest.test_case "formatters" `Quick test_tab_formatters;
+        ] );
+      ( "timer",
+        [ Alcotest.test_case "returns result" `Quick test_timer_returns_result ] );
+    ]
