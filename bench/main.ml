@@ -6,14 +6,26 @@
      main.exe                  -- all tables, scaled default protocol
      main.exe table4 figure4   -- selected experiments
      main.exe kernels          -- Bechamel micro-benchmarks
-   Options: --runs N  --seed N  --tier tiny|small|standard|full  --jobs N *)
+   Options: --runs N  --seed N  --tier tiny|small|standard|full  --jobs N
+            --json FILE (kernels: machine-readable timings for BENCH_*.json
+            perf tracking across PRs) *)
 
 module Tables = Mlpart_experiments.Tables
 module Algos = Mlpart_experiments.Algos
 module Suite = Mlpart_gen.Suite
 module Rng = Mlpart_util.Rng
 
-let kernels () =
+let kernels ?json () =
+  (* Fail on an unwritable --json path up front, not after minutes of
+     benchmarking. *)
+  (match json with
+  | None -> ()
+  | Some path -> (
+      match Out_channel.open_text path with
+      | oc -> Out_channel.close oc
+      | exception Sys_error msg ->
+          Printf.eprintf "error: cannot write --json file: %s\n" msg;
+          exit 1));
   let open Bechamel in
   let h small = Suite.instantiate (Suite.find small) in
   let balu = h "balu" in
@@ -80,23 +92,59 @@ let kernels () =
       | Some [ ns ] -> rows := (name, ns) :: !rows
       | Some _ | None -> ())
     results;
-  let rows = List.sort compare !rows in
+  let rows =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+  in
   Printf.printf "\nBechamel kernels (monotonic clock):\n";
   List.iter
     (fun (name, ns) -> Printf.printf "  %-28s %12.0f ns/run\n" name ns)
-    rows
+    rows;
+  match json with
+  | None -> ()
+  | Some path ->
+      (* Phase breakdown of one MLc run on balu rides along with the kernel
+         timings, so the per-phase trajectory is tracked across PRs too. *)
+      let module Timer = Mlpart_util.Timer in
+      let module Ml = Mlpart_multilevel.Ml in
+      let phases = Timer.phases_create () in
+      ignore (Ml.run ~config:Ml.mlc ~phases (Rng.create 7) balu);
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n  \"kernels\": [\n";
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i (name, ns) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    {\"name\": %S, \"ns_per_run\": %.1f}%s\n" name
+               ns
+               (if i = last then "" else ",")))
+        rows;
+      Buffer.add_string buf "  ],\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"phases_mlc_balu\": {\"coarsen_s\": %.6f, \"initial_s\": %.6f, \
+            \"refine_s\": %.6f, \"refine_levels\": %d}\n"
+           phases.Timer.coarsen phases.Timer.initial phases.Timer.refine
+           phases.Timer.refine_levels);
+      Buffer.add_string buf "}\n";
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Printf.printf "wrote %s\n" path
 
 let () =
   let runs = ref Tables.default_protocol.Tables.runs in
   let seed = ref Tables.default_protocol.Tables.seed in
   let tier = ref Tables.default_protocol.Tables.tier in
   let jobs = ref Tables.default_protocol.Tables.jobs in
+  let json = ref None in
   let selected = ref [] in
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse = function
     | [] -> ()
     | "--runs" :: v :: rest ->
         runs := int_of_string v;
+        parse rest
+    | "--json" :: v :: rest ->
+        json := Some v;
         parse rest
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
@@ -130,11 +178,11 @@ let () =
     | "extras" -> Tables.extras p
     | "recursive" -> Tables.recursive p
     | "all" -> Tables.all p
-    | "kernels" -> kernels ()
+    | "kernels" -> kernels ?json:!json ()
     | other -> failwith (Printf.sprintf "unknown experiment %S" other)
   in
   match List.rev !selected with
   | [] ->
       Tables.all p;
-      kernels ()
+      kernels ?json:!json ()
   | names -> List.iter dispatch names

@@ -11,6 +11,7 @@
 module H = Mlpart_hypergraph.Hypergraph
 module Hgr_io = Mlpart_hypergraph.Hgr_io
 module Rng = Mlpart_util.Rng
+module Pool = Mlpart_util.Pool
 module Fm = Mlpart_partition.Fm
 module Ml = Mlpart_multilevel.Ml
 open Cmdliner
@@ -51,6 +52,29 @@ let seed_arg =
 
 let runs_arg =
   Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc:"Independent runs; the best result is reported.")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domains used to run independent runs in parallel.  Every \
+                 run draws from its own generator pre-split from --seed, so \
+                 the reported cut is identical for any job count.")
+
+(* Run [one] over [runs] pre-split generator streams — across a domain pool
+   when [jobs > 1] — and keep the best result by [cut_of], ties to the
+   lowest run index. *)
+let best_over_runs ~runs ~jobs rng one cut_of =
+  let runs = Stdlib.max 1 runs in
+  let rngs = Array.init runs (fun _ -> Rng.split rng) in
+  let results =
+    if jobs <= 1 || runs = 1 then Array.map one rngs
+    else Pool.with_pool ~jobs:(Stdlib.min jobs runs) (fun pool -> Pool.map pool one rngs)
+  in
+  let best = ref results.(0) in
+  for i = 1 to runs - 1 do
+    if cut_of results.(i) < cut_of !best then best := results.(i)
+  done;
+  !best
 
 let ratio_arg =
   Arg.(value & opt float 0.5
@@ -103,7 +127,7 @@ let write_assignment out side =
           Array.iter (fun s -> Printf.fprintf oc "%d\n" s) side)
 
 let bipartition_cmd =
-  let run input seed runs ratio threshold tolerance engine out =
+  let run input seed runs jobs ratio threshold tolerance engine out =
     let h = load_hypergraph input seed in
     let rng = Rng.create seed in
     let fm_config base = { base with Fm.tolerance } in
@@ -133,33 +157,24 @@ let bipartition_cmd =
           let r = Ml.run ~config rng h in
           (r.Ml.side, r.Ml.cut)
     in
-    let best = ref None in
-    for _ = 1 to Stdlib.max 1 runs do
-      let side, cut = one (Rng.split rng) in
-      match !best with
-      | Some (_, c) when c <= cut -> ()
-      | Some _ | None -> best := Some (side, cut)
-    done;
-    (match !best with
-    | Some (side, cut) ->
-        let areas = [| 0; 0 |] in
-        Array.iteri (fun v s -> areas.(s) <- areas.(s) + H.area h v) side;
-        Printf.printf "%s: cut %d  |X|=%d |Y|=%d (areas %d/%d)\n"
-          (H.name h) cut
-          (Array.fold_left (fun acc s -> acc + (1 - s)) 0 side)
-          (Array.fold_left ( + ) 0 side)
-          areas.(0) areas.(1);
-        write_assignment out side
-    | None -> ())
+    let side, cut = best_over_runs ~runs ~jobs rng one snd in
+    let areas = [| 0; 0 |] in
+    Array.iteri (fun v s -> areas.(s) <- areas.(s) + H.area h v) side;
+    Printf.printf "%s: cut %d  |X|=%d |Y|=%d (areas %d/%d)\n"
+      (H.name h) cut
+      (Array.fold_left (fun acc s -> acc + (1 - s)) 0 side)
+      (Array.fold_left ( + ) 0 side)
+      areas.(0) areas.(1);
+    write_assignment out side
   in
   let term =
-    Term.(const run $ input_arg $ seed_arg $ runs_arg $ ratio_arg
+    Term.(const run $ input_arg $ seed_arg $ runs_arg $ jobs_arg $ ratio_arg
           $ threshold_arg $ tolerance_arg $ engine_arg $ out_arg)
   in
   Cmd.v (Cmd.info "bipartition" ~doc:"Min-cut 2-way partitioning (ML algorithm).") term
 
 let quadrisect_cmd =
-  let run input seed runs ratio tolerance gordian out =
+  let run input seed runs jobs ratio tolerance gordian out =
     let h = load_hypergraph input seed in
     let rng = Rng.create seed in
     if gordian then begin
@@ -175,18 +190,13 @@ let quadrisect_cmd =
           MLW.ratio;
           engine = { Mlpart_partition.Multiway.default with tolerance } }
       in
-      let best = ref None in
-      for _ = 1 to Stdlib.max 1 runs do
-        let r = MLW.run ~config (Rng.split rng) h ~k:4 in
-        match !best with
-        | Some (_, c) when c <= r.MLW.cut -> ()
-        | Some _ | None -> best := Some (r.MLW.side, r.MLW.cut)
-      done;
-      match !best with
-      | Some (side, cut) ->
-          Printf.printf "%s: ML 4-way cut %d\n" (H.name h) cut;
-          write_assignment out side
-      | None -> ()
+      let one rng =
+        let r = MLW.run ~config rng h ~k:4 in
+        (r.MLW.side, r.MLW.cut)
+      in
+      let side, cut = best_over_runs ~runs ~jobs rng one snd in
+      Printf.printf "%s: ML 4-way cut %d\n" (H.name h) cut;
+      write_assignment out side
     end
   in
   let gordian_arg =
@@ -196,7 +206,7 @@ let quadrisect_cmd =
                    of multilevel partitioning.")
   in
   let term =
-    Term.(const run $ input_arg $ seed_arg $ runs_arg $ ratio_arg
+    Term.(const run $ input_arg $ seed_arg $ runs_arg $ jobs_arg $ ratio_arg
           $ tolerance_arg $ gordian_arg $ out_arg)
   in
   Cmd.v (Cmd.info "quadrisect" ~doc:"4-way partitioning.") term

@@ -1,5 +1,6 @@
 module Rng = Mlpart_util.Rng
 module Stats = Mlpart_util.Stats
+module Pool = Mlpart_util.Pool
 module H = Mlpart_hypergraph.Hypergraph
 
 type measurement = {
@@ -11,7 +12,9 @@ type measurement = {
 }
 
 (* Per-run generators are pre-split from the master seed so results do not
-   depend on how the runs are scheduled across domains. *)
+   depend on how the runs are scheduled across domains; the shared pool is
+   spawned once and reused across every measurement with the same job
+   count. *)
 let measure_generic ?(jobs = 1) ~runs ~seed h run verify =
   let master = Rng.create seed in
   let rngs = Array.init runs (fun _ -> Rng.split master) in
@@ -23,26 +26,7 @@ let measure_generic ?(jobs = 1) ~runs ~seed h run verify =
   let start = Mlpart_util.Timer.now () in
   let cuts =
     if jobs <= 1 || runs <= 1 then Array.map one rngs
-    else begin
-      let jobs = Stdlib.min jobs runs in
-      let domains =
-        List.init jobs (fun j ->
-            Domain.spawn (fun () ->
-                (* stride partitioning of the run indices *)
-                let mine = ref [] in
-                let i = ref j in
-                while !i < runs do
-                  mine := (!i, one rngs.(!i)) :: !mine;
-                  i := !i + jobs
-                done;
-                !mine))
-      in
-      let out = Array.make runs 0 in
-      List.iter
-        (fun d -> List.iter (fun (i, cut) -> out.(i) <- cut) (Domain.join d))
-        domains;
-      out
-    end
+    else Pool.map (Pool.get ~jobs:(Stdlib.min jobs runs)) one rngs
   in
   let cpu = Mlpart_util.Timer.now () -. start in
   let stats = Stats.create () in

@@ -37,7 +37,8 @@ let histogram values =
     (fun v ->
       Hashtbl.replace table v (1 + Option.value ~default:0 (Hashtbl.find_opt table v)))
     values;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort compare
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let degree_histogram h =
   histogram (List.init (H.num_modules h) (fun v -> H.module_degree h v))

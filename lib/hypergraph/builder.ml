@@ -22,7 +22,7 @@ let add_modules t ?(area = 1) n =
   done
 
 let add_net t ?(weight = 1) pins =
-  let distinct = List.sort_uniq compare pins in
+  let distinct = List.sort_uniq Int.compare pins in
   if List.length distinct >= 2 then begin
     t.nets <- (Array.of_list distinct, weight) :: t.nets;
     t.num_nets <- t.num_nets + 1

@@ -69,7 +69,7 @@ let parse ~name input =
               p - 1)
             pins
         in
-        let pins = List.sort_uniq compare pins in
+        let pins = List.sort_uniq Int.compare pins in
         if List.length pins >= 2 then
           nets := (Array.of_list pins, weight) :: !nets
   done;

@@ -75,6 +75,91 @@ let pp_summary ppf t =
     (if t.name = "" then "<hypergraph>" else t.name)
     (num_modules t) (num_nets t) (num_pins t)
 
+(* Monomorphic ascending sort of a.(lo .. lo+len-1): insertion sort for the
+   short runs typical of coarse-net pin sets, quicksort above.  Avoids the
+   callback through polymorphic [compare] that [Array.sort compare] pays on
+   every comparison. *)
+let rec sort_ints a lo len =
+  if len <= 16 then
+    for i = lo + 1 to lo + len - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  else begin
+    let hi = lo + len - 1 in
+    let mid = lo + (len / 2) in
+    let p =
+      (* median of three *)
+      let x = a.(lo) and y = a.(mid) and z = a.(hi) in
+      if x < y then (if y < z then y else if x < z then z else x)
+      else if x < z then x
+      else if y < z then z
+      else y
+    in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < p do
+        incr i
+      done;
+      while a.(!j) > p do
+        decr j
+      done;
+      if !i <= !j then begin
+        let tmp = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- tmp;
+        incr i;
+        decr j
+      end
+    done;
+    sort_ints a lo (!j - lo + 1);
+    sort_ints a !i (hi - !i + 1)
+  end
+
+(* Shared construction tail: given valid net->pins CSR arrays, build the
+   module->nets CSR by counting sort and finish the record.  This is the
+   [make_csr] fast path: no validation, no (pins, weight) tuple array. *)
+let make_csr ?(name = "") ~areas ~net_offsets ~net_pins ~net_weights () =
+  let n = Array.length areas in
+  let m = Array.length net_weights in
+  let total_pins = Array.length net_pins in
+  let degree = Array.make n 0 in
+  Array.iter (fun v -> degree.(v) <- degree.(v) + 1) net_pins;
+  let mod_offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    mod_offsets.(v + 1) <- mod_offsets.(v) + degree.(v)
+  done;
+  (* rewind [degree] into per-module write cursors *)
+  Array.blit mod_offsets 0 degree 0 n;
+  let cursor = degree in
+  let mod_nets = Array.make total_pins 0 in
+  for e = 0 to m - 1 do
+    for i = net_offsets.(e) to net_offsets.(e + 1) - 1 do
+      let v = net_pins.(i) in
+      mod_nets.(cursor.(v)) <- e;
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done;
+  let total_area = Array.fold_left ( + ) 0 areas in
+  let max_area = ref 0 in
+  Array.iter (fun a -> if a > !max_area then max_area := a) areas;
+  {
+    name;
+    areas;
+    net_offsets;
+    net_pins;
+    net_weights;
+    mod_offsets;
+    mod_nets;
+    total_area;
+    max_area = !max_area;
+  }
+
 (* Construction.  [nets] is validated: each net needs >= 2 distinct in-range
    pins; then both CSR directions are materialised. *)
 let make ?(name = "") ~areas ~nets () =
@@ -112,58 +197,47 @@ let make ?(name = "") ~areas ~nets () =
     net_offsets.(e + 1) <- net_offsets.(e) + Array.length pins
   done;
   let total_pins = net_offsets.(m) in
-  let net_pins = Array.make (Stdlib.max 1 total_pins) 0 in
-  let net_weights = Array.make (Stdlib.max 0 m) 0 in
+  let net_pins = Array.make total_pins 0 in
+  let net_weights = Array.make m 0 in
   for e = 0 to m - 1 do
     let pins, w = nets.(e) in
     net_weights.(e) <- w;
     Array.blit pins 0 net_pins net_offsets.(e) (Array.length pins)
   done;
-  let net_pins = if total_pins = 0 then [||] else Array.sub net_pins 0 total_pins in
-  (* module -> nets CSR via counting sort *)
-  let degree = Array.make n 0 in
-  Array.iter (fun v -> degree.(v) <- degree.(v) + 1) net_pins;
-  let mod_offsets = Array.make (n + 1) 0 in
-  for v = 0 to n - 1 do
-    mod_offsets.(v + 1) <- mod_offsets.(v) + degree.(v)
-  done;
-  let cursor = Array.copy mod_offsets in
-  let mod_nets = Array.make (Stdlib.max 1 total_pins) 0 in
-  for e = 0 to m - 1 do
-    for i = net_offsets.(e) to net_offsets.(e + 1) - 1 do
-      let v = net_pins.(i) in
-      mod_nets.(cursor.(v)) <- e;
-      cursor.(v) <- cursor.(v) + 1
-    done
-  done;
-  let mod_nets = if total_pins = 0 then [||] else Array.sub mod_nets 0 total_pins in
-  let total_area = Array.fold_left ( + ) 0 areas in
-  let max_area = Array.fold_left Stdlib.max 0 areas in
-  {
-    name;
-    areas;
-    net_offsets;
-    net_pins;
-    net_weights;
-    mod_offsets;
-    mod_nets;
-    total_area;
-    max_area;
-  }
+  make_csr ~name ~areas ~net_offsets ~net_pins ~net_weights ()
 
-(* Induce the coarse hypergraph of a clustering (Definition 1).  Cluster ids
-   must be contiguous 0..k-1.  A scratch mark array deduplicates cluster
-   occurrences per net in O(pins). *)
-let induce ?(name = "") ?(merge_duplicates = false) t cluster_of =
+(* ---- Induced coarse hypergraphs (Definition 1) ---- *)
+
+(* Reusable scratch for [induce]: the coarsening loop calls it once per
+   level, and without the arena each call would allocate mark/scratch/dedup
+   arrays proportional to the cluster count.  Stamps are generational:
+   [stamp] only grows, so [mark] never needs clearing between nets, levels
+   or even hypergraphs. *)
+type arena = {
+  mutable mark : int array; (* per-cluster stamp *)
+  mutable stamp : int;
+  mutable scratch : int array; (* distinct clusters of the current net *)
+  mutable table : int array; (* open-addressing dedup slots: kept index + 1 *)
+  mutable hashes : int array; (* pin-set hash per kept coarse net *)
+}
+
+let create_arena () =
+  { mark = [||]; stamp = 0; scratch = [||]; table = [||]; hashes = [||] }
+
+let ensure_ints a len = if Array.length a >= len then a else Array.make len 0
+
+let validate_clustering fname t cluster_of =
   let n = num_modules t in
   if Array.length cluster_of <> n then
-    invalid_arg "Hypergraph.induce: clustering length mismatch";
-  let k = Array.fold_left Stdlib.max (-1) cluster_of + 1 in
-  if k <= 0 then invalid_arg "Hypergraph.induce: empty clustering";
+    invalid_arg (fname ^ ": clustering length mismatch");
+  let max_c = ref (-1) in
+  Array.iter (fun c -> if c > !max_c then max_c := c) cluster_of;
+  let k = !max_c + 1 in
+  if k <= 0 then invalid_arg (fname ^ ": empty clustering");
   Array.iteri
     (fun v c ->
-      if c < 0 || c >= k then
-        invalid_arg (Printf.sprintf "Hypergraph.induce: module %d cluster %d" v c))
+      if c < 0 then
+        invalid_arg (Printf.sprintf "%s: module %d cluster %d" fname v c))
     cluster_of;
   let coarse_areas = Array.make k 0 in
   for v = 0 to n - 1 do
@@ -173,12 +247,161 @@ let induce ?(name = "") ?(merge_duplicates = false) t cluster_of =
   Array.iteri
     (fun c a ->
       if a = 0 then
-        invalid_arg (Printf.sprintf "Hypergraph.induce: cluster %d is empty" c))
+        invalid_arg (Printf.sprintf "%s: cluster %d is empty" fname c))
     coarse_areas;
+  (k, coarse_areas)
+
+(* Induce the coarse hypergraph of a clustering.  Cluster ids must be
+   contiguous 0..k-1.  Two passes over the fine pins: the first counts
+   surviving nets and their pins (so the coarse CSR arrays are allocated at
+   exact size), the second writes sorted pin runs directly into them.
+   Duplicate merging dedups by hash of the sorted run in first-occurrence
+   order.  No per-net allocation, no intermediate (pins, weight) tuples,
+   no re-validation. *)
+let induce ?(name = "") ?(merge_duplicates = false) ?arena t cluster_of =
+  let k, coarse_areas = validate_clustering "Hypergraph.induce" t cluster_of in
+  let ar = match arena with Some a -> a | None -> create_arena () in
+  ar.mark <- ensure_ints ar.mark k;
+  ar.scratch <- ensure_ints ar.scratch k;
+  let mark = ar.mark in
+  let scratch = ar.scratch in
+  let fine_offsets = t.net_offsets in
+  let fine_pins = t.net_pins in
+  let m = num_nets t in
+  (* pass 1: how many coarse nets survive, with how many pins in total *)
+  let kept = ref 0 in
+  let total = ref 0 in
+  for e = 0 to m - 1 do
+    ar.stamp <- ar.stamp + 1;
+    let s = ar.stamp in
+    let cnt = ref 0 in
+    for i = fine_offsets.(e) to fine_offsets.(e + 1) - 1 do
+      let c = cluster_of.(fine_pins.(i)) in
+      if mark.(c) <> s then begin
+        mark.(c) <- s;
+        incr cnt
+      end
+    done;
+    if !cnt >= 2 then begin
+      incr kept;
+      total := !total + !cnt
+    end
+  done;
+  let kept = !kept in
+  let coarse_offsets = Array.make (kept + 1) 0 in
+  let coarse_pins = Array.make !total 0 in
+  let coarse_weights = Array.make kept 0 in
+  let mask =
+    if not merge_duplicates then 0
+    else begin
+      let cap = ref 16 in
+      while !cap < 2 * kept do
+        cap := !cap * 2
+      done;
+      let cap = if Array.length ar.table > !cap then Array.length ar.table else !cap in
+      ar.table <- ensure_ints ar.table cap;
+      Array.fill ar.table 0 cap 0;
+      ar.hashes <- ensure_ints ar.hashes kept;
+      cap - 1
+    end
+  in
+  let table = ar.table in
+  let hashes = ar.hashes in
+  (* pass 2: fill the coarse CSR in net order *)
+  let j = ref 0 in
+  let cursor = ref 0 in
+  for e = 0 to m - 1 do
+    ar.stamp <- ar.stamp + 1;
+    let s = ar.stamp in
+    let cnt = ref 0 in
+    for i = fine_offsets.(e) to fine_offsets.(e + 1) - 1 do
+      let c = cluster_of.(fine_pins.(i)) in
+      if mark.(c) <> s then begin
+        mark.(c) <- s;
+        scratch.(!cnt) <- c;
+        incr cnt
+      end
+    done;
+    let cnt = !cnt in
+    if cnt >= 2 then begin
+      sort_ints scratch 0 cnt;
+      let w = t.net_weights.(e) in
+      let dup =
+        if not merge_duplicates then -1
+        else begin
+          let h = ref cnt in
+          for i = 0 to cnt - 1 do
+            h := ((!h * 0x9E3779B1) + scratch.(i)) land max_int
+          done;
+          let h = !h in
+          let idx = ref (h land mask) in
+          let found = ref (-1) in
+          let continue = ref true in
+          while !continue do
+            let entry = table.(!idx) in
+            if entry = 0 then begin
+              (* claim the empty slot for this net if it ends up kept *)
+              table.(!idx) <- !j + 1;
+              hashes.(!j) <- h;
+              continue := false
+            end
+            else begin
+              let cand = entry - 1 in
+              let off = coarse_offsets.(cand) in
+              if
+                hashes.(cand) = h
+                && coarse_offsets.(cand + 1) - off = cnt
+                && begin
+                     let equal = ref true in
+                     let i = ref 0 in
+                     while !equal && !i < cnt do
+                       if coarse_pins.(off + !i) <> scratch.(!i) then
+                         equal := false
+                       else incr i
+                     done;
+                     !equal
+                   end
+              then begin
+                found := cand;
+                continue := false
+              end
+              else idx := (!idx + 1) land mask
+            end
+          done;
+          !found
+        end
+      in
+      if dup >= 0 then coarse_weights.(dup) <- coarse_weights.(dup) + w
+      else begin
+        Array.blit scratch 0 coarse_pins !cursor cnt;
+        coarse_weights.(!j) <- w;
+        incr j;
+        cursor := !cursor + cnt;
+        coarse_offsets.(!j) <- !cursor
+      end
+    end
+  done;
+  let net_offsets, net_pins, net_weights =
+    if !j = kept then (coarse_offsets, coarse_pins, coarse_weights)
+    else
+      ( Array.sub coarse_offsets 0 (!j + 1),
+        Array.sub coarse_pins 0 !cursor,
+        Array.sub coarse_weights 0 !j )
+  in
+  (make_csr ~name ~areas:coarse_areas ~net_offsets ~net_pins ~net_weights (), k)
+
+(* Straightforward list-based induce, retained as the oracle for property
+   tests of the CSR fast path above.  Semantics are identical: coarse nets
+   in fine-net order with sorted pins; duplicate merging keeps the first
+   occurrence and sums weights into it. *)
+let induce_reference ?(name = "") ?(merge_duplicates = false) t cluster_of =
+  let k, coarse_areas =
+    validate_clustering "Hypergraph.induce_reference" t cluster_of
+  in
   let mark = Array.make k (-1) in
   let scratch = Array.make k 0 in
-  let coarse_nets = ref [] in
-  for e = num_nets t - 1 downto 0 do
+  let rev_nets = ref [] in
+  for e = 0 to num_nets t - 1 do
     let count = ref 0 in
     iter_pins_of t e (fun v ->
         let c = cluster_of.(v) in
@@ -189,24 +412,26 @@ let induce ?(name = "") ?(merge_duplicates = false) t cluster_of =
         end);
     if !count >= 2 then begin
       let pins = Array.sub scratch 0 !count in
-      Array.sort compare pins;
-      coarse_nets := (pins, net_weight t e) :: !coarse_nets
+      Array.sort Stdlib.compare pins;
+      rev_nets := (pins, net_weight t e) :: !rev_nets
     end
   done;
+  let nets = List.rev !rev_nets in
   let nets =
-    if not merge_duplicates then Array.of_list !coarse_nets
+    if not merge_duplicates then Array.of_list nets
     else begin
-      (* Merge identical pin sets, summing weights.  Pin arrays are sorted,
-         so a hash table keyed on the pin array works directly. *)
-      let table : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+      let table : (int array, int ref) Hashtbl.t = Hashtbl.create 64 in
+      let rev_merged = ref [] in
       List.iter
         (fun (pins, w) ->
           match Hashtbl.find_opt table pins with
-          | Some w0 -> Hashtbl.replace table pins (w0 + w)
-          | None -> Hashtbl.add table pins w)
-        !coarse_nets;
-      let merged = Hashtbl.fold (fun pins w acc -> (pins, w) :: acc) table [] in
-      Array.of_list merged
+          | Some wr -> wr := !wr + w
+          | None ->
+              let wr = ref w in
+              Hashtbl.add table pins wr;
+              rev_merged := (pins, wr) :: !rev_merged)
+        nets;
+      Array.of_list (List.rev_map (fun (pins, wr) -> (pins, !wr)) !rev_merged)
     end
   in
   (make ~name ~areas:coarse_areas ~nets (), k)

@@ -98,7 +98,23 @@ val make :
     out of range or repeated within a net, an area is non-positive, or a
     weight is non-positive. *)
 
-val induce : ?name:string -> ?merge_duplicates:bool -> t -> int array -> t * int
+type arena
+(** Reusable scratch for {!induce}: mark/stamp arrays and the duplicate-net
+    hash table.  One arena threaded through a coarsening loop makes every
+    level's induce allocation-free apart from the coarse CSR arrays
+    themselves.  An arena may be reused freely across hypergraphs of any
+    size (it grows on demand and never needs resetting), but is not safe to
+    share between domains. *)
+
+val create_arena : unit -> arena
+
+val induce :
+  ?name:string ->
+  ?merge_duplicates:bool ->
+  ?arena:arena ->
+  t ->
+  int array ->
+  t * int
 (** [induce h cluster_of] builds the coarser hypergraph induced by the
     clustering that maps module [v] to cluster [cluster_of.(v)] (Definition 1
     of the paper): cluster areas are summed, each net projects to the set of
@@ -107,6 +123,18 @@ val induce : ?name:string -> ?merge_duplicates:bool -> t -> int array -> t * int
 
     When [merge_duplicates] is [true] (default [false], the paper's literal
     Definition 1 keeps duplicates), coarse nets spanning identical cluster
-    sets are merged and their weights summed.
+    sets are merged in first-occurrence order and their weights summed.
+
+    The coarse net order is the fine net order (restricted to surviving
+    nets) and each coarse net's pins are sorted ascending.  The coarse CSR
+    is emitted directly — counting pass, then a fill pass — without an
+    intermediate (pins, weight) list; pass [arena] to reuse scratch across
+    calls (see {!create_arena}).
 
     Returns the coarse hypergraph and [k], the number of clusters. *)
+
+val induce_reference :
+  ?name:string -> ?merge_duplicates:bool -> t -> int array -> t * int
+(** Simple list-based implementation of exactly the same function, kept as
+    the oracle for property tests of the CSR fast path.  Slower; do not use
+    in production paths. *)

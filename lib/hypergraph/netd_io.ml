@@ -122,7 +122,7 @@ let read_net_string ?(name = "") ?are contents =
   let nets =
     List.rev_map
       (fun pins ->
-        let distinct = List.sort_uniq compare pins in
+        let distinct = List.sort_uniq Int.compare pins in
         (Array.of_list distinct, 1))
       parsed.nets
     |> List.filter (fun (pins, _) -> Array.length pins >= 2)
@@ -141,7 +141,7 @@ let pads _h contents =
   List.concat_map
     (fun pins -> List.filter (fun id -> id > parsed.pad_offset) pins)
     parsed.nets
-  |> List.sort_uniq compare
+  |> List.sort_uniq Int.compare
 
 let write_net_string h =
   let buf = Buffer.create (32 * Hypergraph.num_pins h) in

@@ -25,6 +25,9 @@ let build ~threshold ~ratio ~match_net_size ~merge_duplicates ~max_levels
          (cluster_area_factor *. float_of_int (H.total_area h)
           /. float_of_int (Stdlib.max 1 threshold)))
   in
+  (* One arena reused across every induce of the hierarchy: per-level
+     coarsening allocates only the coarse CSR arrays themselves. *)
+  let arena = H.create_arena () in
   let rec go h fixed acc depth =
     if H.num_modules h <= threshold || depth >= max_levels then
       { levels = List.rev acc; coarsest = h; coarsest_fixed = fixed }
@@ -42,7 +45,7 @@ let build ~threshold ~ratio ~match_net_size ~merge_duplicates ~max_levels
         { levels = List.rev acc; coarsest = h; coarsest_fixed = fixed }
       else begin
         let coarser, _ =
-          H.induce ~name:(H.name h) ~merge_duplicates h cluster_of
+          H.induce ~name:(H.name h) ~merge_duplicates ~arena h cluster_of
         in
         let coarser_fixed =
           Option.map (fun f -> project_fixed cluster_of k f) fixed

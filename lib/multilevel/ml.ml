@@ -1,5 +1,7 @@
 module H = Mlpart_hypergraph.Hypergraph
 module Rng = Mlpart_util.Rng
+module Pool = Mlpart_util.Pool
+module Timer = Mlpart_util.Timer
 module Fm = Mlpart_partition.Fm
 
 let log_src = Logs.Src.create "mlpart.ml" ~doc:"multilevel driver traces"
@@ -48,25 +50,46 @@ let coarsen ?(config = mlf) rng h =
 let project cluster_of coarse_side =
   Array.map (fun c -> coarse_side.(c)) cluster_of
 
-(* Partition the coarsest netlist (steps 6 of Figure 2), optionally from an
-   initial solution, with multi-start as the §V extension. *)
-let partition_coarsest config ?init ?fixed rng coarsest =
-  let once () = Fm.run ~config:config.engine ?init ?fixed rng coarsest in
-  let best = ref (once ()) in
-  for _ = 2 to config.coarsest_starts do
-    let r = once () in
-    if r.Fm.cut < !best.Fm.cut then best := r
+(* Pick the lowest cut; index order breaks ties, so the winner does not
+   depend on how a pool scheduled the candidates. *)
+let best_of results =
+  let best = ref results.(0) in
+  for i = 1 to Array.length results - 1 do
+    if results.(i).Fm.cut < !best.Fm.cut then best := results.(i)
   done;
   !best
 
+(* Partition the coarsest netlist (steps 6 of Figure 2), optionally from an
+   initial solution, with multi-start as the §V extension.  Starts draw
+   from generators pre-split from [rng] — one split per start regardless
+   of [pool] — so the result is identical for any pool size, including the
+   sequential [None]. *)
+let partition_coarsest config ?init ?fixed ?pool rng coarsest =
+  let starts = Stdlib.max 1 config.coarsest_starts in
+  if starts = 1 then Fm.run ~config:config.engine ?init ?fixed rng coarsest
+  else begin
+    let rngs = Array.init starts (fun _ -> Rng.split rng) in
+    let one rng = Fm.run ~config:config.engine ?init ?fixed rng coarsest in
+    let results =
+      match pool with
+      | Some pool when Pool.size pool > 1 -> Pool.map pool one rngs
+      | Some _ | None -> Array.map one rngs
+    in
+    best_of results
+  end
+
 (* Uncoarsening: project and refine level by level (steps 7-9). *)
-let refine_up config rng hierarchy initial_side =
+let refine_up config ?phases rng hierarchy initial_side =
   List.fold_left
     (fun coarse_side { Hierarchy.netlist; cluster_of; fixed } ->
+      let started = Timer.now_wall () in
       let projected = project cluster_of coarse_side in
       let refined =
         Fm.run ~config:config.engine ~init:projected ?fixed rng netlist
       in
+      (match phases with
+      | Some p -> Timer.add p Timer.Refine (Timer.now_wall () -. started)
+      | None -> ());
       Log.debug (fun m ->
           m "refined level |V|=%d: projected cut %d -> %d (%d passes)"
             (H.num_modules netlist)
@@ -76,18 +99,27 @@ let refine_up config rng hierarchy initial_side =
     initial_side
     (List.rev hierarchy.Hierarchy.levels)
 
-let run ?(config = mlf) ?fixed rng h =
-  let hierarchy = build_hierarchy config ?fixed rng h in
+let recorded phases phase f =
+  match phases with Some p -> Timer.record p phase f | None -> f ()
+
+let run ?(config = mlf) ?fixed ?pool ?phases rng h =
+  let hierarchy =
+    recorded phases Timer.Coarsen (fun () -> build_hierarchy config ?fixed rng h)
+  in
   Log.debug (fun m ->
       m "%s: %d levels, coarsest |V|=%d (T=%d, R=%.2f)" (H.name h)
         (List.length hierarchy.Hierarchy.levels)
         (H.num_modules hierarchy.Hierarchy.coarsest)
         config.threshold config.ratio);
   let initial =
-    partition_coarsest config ?fixed:hierarchy.Hierarchy.coarsest_fixed rng
-      hierarchy.Hierarchy.coarsest
+    recorded phases Timer.Initial (fun () ->
+        partition_coarsest config ?fixed:hierarchy.Hierarchy.coarsest_fixed
+          ?pool rng hierarchy.Hierarchy.coarsest)
   in
-  let side = refine_up config rng hierarchy initial.Fm.side in
+  let side = refine_up config ?phases rng hierarchy initial.Fm.side in
+  (match phases with
+  | Some p -> Log.debug (fun m -> m "%s: %a" (H.name h) Timer.pp_phases p)
+  | None -> ());
   {
     side;
     cut = Fm.cut_of h side;
@@ -99,14 +131,22 @@ let run ?(config = mlf) ?fixed rng h =
    same-side pairs (every cluster is side-pure, so the solution projects
    without loss), refine the projected solution at each level on the way
    back up. *)
-let vcycle config ?fixed rng h side =
+let vcycle config ?fixed ?phases rng h side =
   let pair_ok v w = side.(v) = side.(w) in
-  let hierarchy = build_hierarchy config ?fixed ~pair_ok rng h in
+  let hierarchy =
+    recorded phases Timer.Coarsen (fun () ->
+        build_hierarchy config ?fixed ~pair_ok rng h)
+  in
   (* Restrict the side assignment down the hierarchy. *)
   let coarsest_side, _ =
     List.fold_left
       (fun (fine_side, _) { Hierarchy.cluster_of; _ } ->
-        let k = Array.fold_left Stdlib.max (-1) cluster_of + 1 in
+        let k =
+          Array.fold_left
+            (fun acc c -> if c > acc then c else acc)
+            (-1) cluster_of
+          + 1
+        in
         let coarse = Array.make k 0 in
         Array.iteri (fun v c -> coarse.(c) <- fine_side.(v)) cluster_of;
         (coarse, k))
@@ -114,18 +154,20 @@ let vcycle config ?fixed rng h side =
       hierarchy.Hierarchy.levels
   in
   let initial =
-    Fm.run ~config:config.engine ~init:coarsest_side
-      ?fixed:hierarchy.Hierarchy.coarsest_fixed rng hierarchy.Hierarchy.coarsest
+    recorded phases Timer.Initial (fun () ->
+        Fm.run ~config:config.engine ~init:coarsest_side
+          ?fixed:hierarchy.Hierarchy.coarsest_fixed rng
+          hierarchy.Hierarchy.coarsest)
   in
-  refine_up config rng hierarchy initial.Fm.side
+  refine_up config ?phases rng hierarchy initial.Fm.side
 
-let run_vcycles ?(config = mlf) ?fixed ~cycles rng h =
+let run_vcycles ?(config = mlf) ?fixed ?pool ?phases ~cycles rng h =
   if cycles < 1 then invalid_arg "Ml.run_vcycles: cycles < 1";
-  let first = run ~config ?fixed rng h in
+  let first = run ~config ?fixed ?pool ?phases rng h in
   let side = ref first.side in
   let cut = ref first.cut in
   for _ = 2 to cycles do
-    let refined = vcycle config ?fixed rng h !side in
+    let refined = vcycle config ?fixed ?phases rng h !side in
     let refined_cut = Fm.cut_of h refined in
     if refined_cut <= !cut then begin
       side := refined;
@@ -133,3 +175,23 @@ let run_vcycles ?(config = mlf) ?fixed ~cycles rng h =
     end
   done;
   { first with side = !side; cut = !cut }
+
+(* Independent multi-start: [starts] full ML (or V-cycle) runs from
+   pre-split generator streams, keeping the lowest cut (ties to the lowest
+   start index).  With a pool the starts run on separate domains; because
+   every start owns its stream and the winner is picked by (cut, index),
+   the outcome is bit-identical for any pool size. *)
+let run_starts ?(config = mlf) ?fixed ?pool ?(cycles = 1) ~starts rng h =
+  if starts < 1 then invalid_arg "Ml.run_starts: starts < 1";
+  let rngs = Array.init starts (fun _ -> Rng.split rng) in
+  let one rng = run_vcycles ~config ?fixed ~cycles rng h in
+  let results =
+    match pool with
+    | Some pool when Pool.size pool > 1 && starts > 1 -> Pool.map pool one rngs
+    | Some _ | None -> Array.map one rngs
+  in
+  let best = ref results.(0) in
+  for i = 1 to starts - 1 do
+    if results.(i).cut < !best.cut then best := results.(i)
+  done;
+  !best

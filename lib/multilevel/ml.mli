@@ -40,17 +40,29 @@ type result = {
 val run :
   ?config:config ->
   ?fixed:int array ->
+  ?pool:Mlpart_util.Pool.t ->
+  ?phases:Mlpart_util.Timer.phases ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
   result
 (** [fixed.(v) >= 0] pins module [v] to that side at every level (it is
     never matched during coarsening and never moved during refinement) —
     the 2-way analogue of the quadrisection pad mechanism, used by
-    recursive bisection with terminal propagation. *)
+    recursive bisection with terminal propagation.
+
+    [pool] parallelises the [coarsest_starts] multi-start over its domains;
+    each start draws from its own generator pre-split from [rng], so the
+    cut is identical for any pool size (and for no pool at all).
+
+    [phases] accumulates the per-phase wall-time breakdown
+    (coarsen / initial / refine-per-level); see
+    {!Mlpart_util.Timer.phases}. *)
 
 val run_vcycles :
   ?config:config ->
   ?fixed:int array ->
+  ?pool:Mlpart_util.Pool.t ->
+  ?phases:Mlpart_util.Timer.phases ->
   cycles:int ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
@@ -61,6 +73,21 @@ val run_vcycles :
     current solution projects exactly onto every level — and refines it
     back up.  The cut never increases across cycles.  [cycles = 1] is
     exactly {!run}. *)
+
+val run_starts :
+  ?config:config ->
+  ?fixed:int array ->
+  ?pool:Mlpart_util.Pool.t ->
+  ?cycles:int ->
+  starts:int ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  result
+(** [run_starts ~starts rng h] runs [starts] independent multilevel runs
+    ([cycles] V-cycles each, default 1) and keeps the lowest cut, breaking
+    ties by the lowest start index.  Each start owns a generator pre-split
+    from [rng], so the result is bit-identical whether the starts run
+    sequentially or across a {!Mlpart_util.Pool}. *)
 
 (** Access to the phases, for tests and custom flows. *)
 

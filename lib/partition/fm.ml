@@ -129,7 +129,11 @@ let gain_vector st v r vec =
       end)
 
 let compare_vectors a b r =
-  let rec go i = if i >= r then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i + 1) in
+  let rec go i =
+    if i >= r then 0
+    else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
+    else go (i + 1)
+  in
   go 0
 
 let feasible st v = Bipartition.move_is_feasible st.bp st.bounds v
@@ -214,9 +218,9 @@ let fill_structures st ~fresh_pass =
        initial gain under the selection policy. *)
     let cmp =
       match st.cfg.policy with
-      | Gain_bucket.Fifo -> fun a b -> compare st.gain.(b) st.gain.(a)
+      | Gain_bucket.Fifo -> fun a b -> Int.compare st.gain.(b) st.gain.(a)
       | Gain_bucket.Lifo | Gain_bucket.Random ->
-          fun a b -> compare st.gain.(a) st.gain.(b)
+          fun a b -> Int.compare st.gain.(a) st.gain.(b)
     in
     Array.sort cmp ids
   end

@@ -19,7 +19,9 @@ let evaluate h side =
       if p < 0 then
         invalid_arg (Printf.sprintf "Objective.evaluate: part of %d is %d" v p))
     side;
-  let parts = Array.fold_left Stdlib.max 0 side + 1 in
+  let parts =
+    Array.fold_left (fun acc p -> if p > acc then p else acc) 0 side + 1
+  in
   let kp = Kpartition.create h ~k:(Stdlib.max 2 parts) side in
   let part_areas = Array.init parts (Kpartition.area_of_part kp) in
   let absorbed =
@@ -35,8 +37,12 @@ let evaluate h side =
     sum_degrees = Kpartition.sum_degrees kp;
     absorbed;
     part_areas;
-    largest_part = Array.fold_left Stdlib.max 0 part_areas;
-    smallest_part = Array.fold_left Stdlib.min max_int part_areas;
+    largest_part =
+      Array.fold_left (fun acc a -> if a > acc then a else acc) 0 part_areas;
+    smallest_part =
+      Array.fold_left
+        (fun acc a -> if a < acc then a else acc)
+        max_int part_areas;
   }
 
 let pp ppf r =

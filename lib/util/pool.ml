@@ -1,0 +1,158 @@
+(* A minimal fork-join domain pool.  Workers block on a condition variable
+   between jobs; a job is a closure every participant (workers and the
+   caller) runs until an atomic chunk counter is exhausted.  Determinism
+   comes from writing results at input indices, never from scheduling. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable epoch : int; (* bumped per job; workers wait for a new epoch *)
+  mutable job : (int -> unit) option;
+  mutable pending : int; (* workers still running the current job *)
+  mutable stopping : bool;
+  mutable error : exn option;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+let record_error t exn =
+  Mutex.lock t.mutex;
+  if t.error = None then t.error <- Some exn;
+  Mutex.unlock t.mutex
+
+let rec worker_loop t last_epoch =
+  Mutex.lock t.mutex;
+  while (not t.stopping) && t.epoch = last_epoch do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    let epoch = t.epoch in
+    let job = Option.get t.job in
+    Mutex.unlock t.mutex;
+    (try job epoch with exn -> record_error t exn);
+    Mutex.lock t.mutex;
+    t.pending <- t.pending - 1;
+    if t.pending = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.mutex;
+    worker_loop t epoch
+  end
+
+let create ~jobs =
+  let size = Stdlib.max 1 jobs in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      epoch = 0;
+      job = None;
+      pending = 0;
+      stopping = false;
+      error = None;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.job <> None then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.shutdown: pool is busy"
+  end;
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* Run [job] on every participant; the caller is one of them.  Blocks until
+   all workers have finished, then re-raises the first recorded exception. *)
+let run_job t job =
+  if t.size = 1 then job t.epoch
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    t.job <- Some job;
+    t.pending <- t.size - 1;
+    t.epoch <- t.epoch + 1;
+    t.error <- None;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (try job t.epoch with exn -> record_error t exn);
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    let err = t.error in
+    t.error <- None;
+    Mutex.unlock t.mutex;
+    match err with Some exn -> raise exn | None -> ()
+  end
+
+let parallel_for ?chunk t ~start ~stop ~body =
+  let len = stop - start in
+  if len <= 0 then ()
+  else if t.size = 1 then
+    for i = start to stop - 1 do
+      body i
+    done
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> Stdlib.max 1 c
+      | None -> Stdlib.max 1 (len / (4 * t.size))
+    in
+    let next = Atomic.make start in
+    run_job t (fun _ ->
+        let continue = ref true in
+        while !continue do
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo >= stop then continue := false
+          else begin
+            let hi = Stdlib.min stop (lo + chunk) in
+            for i = lo to hi - 1 do
+              body i
+            done
+          end
+        done)
+  end
+
+let map t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ~chunk:1 t ~start:0 ~stop:n ~body:(fun i -> out.(i) <- Some (f a.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_reduce t ~map:f ~reduce ~init a = Array.fold_left reduce init (map t f a)
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let shared = ref None
+
+let get ~jobs =
+  let jobs = Stdlib.max 1 jobs in
+  match !shared with
+  | Some t when t.size = jobs && not t.stopping -> t
+  | prev ->
+      (match prev with Some t -> shutdown t | None -> ());
+      let t = create ~jobs in
+      shared := Some t;
+      t
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,51 @@
+(** Fixed-size domain pool for deterministic data parallelism.
+
+    A pool owns [jobs - 1] worker domains (spawned once at {!create}) plus
+    the calling domain, which participates in every operation.  Work is
+    distributed by atomic chunk stealing, but results are always delivered
+    in input order, so the outcome of {!map} and {!map_reduce} is
+    independent of how chunks land on domains — callers that pre-split
+    their RNG streams per item get bit-identical results for any pool
+    size.
+
+    Operations are {e not} reentrant: calling into the same pool from
+    inside a [body] or mapped function deadlocks.  Parallelise at one
+    level only (the outermost independent loop). *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains.  [jobs <= 1]
+    yields a sequential pool that runs everything on the caller. *)
+
+val size : t -> int
+(** Total parallelism including the calling domain (>= 1). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  The pool must be idle; further use raises. *)
+
+val get : jobs:int -> t
+(** Shared process-wide pool, (re)spawned only when the requested size
+    changes — the "spawn once" entry point for harness code that is handed
+    a jobs count repeatedly.  Not thread-safe; call from the orchestrating
+    domain only. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val parallel_for : ?chunk:int -> t -> start:int -> stop:int -> body:(int -> unit) -> unit
+(** [parallel_for t ~start ~stop ~body] runs [body i] for [start <= i <
+    stop] across the pool.  [chunk] overrides the contiguous block size
+    handed to a domain at a time (default [len / (4 * size)]).  Exceptions
+    in [body] are re-raised in the caller (first one wins). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with result order matching input order. *)
+
+val map_reduce : t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a array -> 'c
+(** Parallel map followed by a sequential in-order fold, so the reduction
+    order (and hence any non-associative effects) is deterministic. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, including on exception. *)

@@ -1,4 +1,5 @@
-(** CPU timing for the CPU-seconds columns of the reproduced tables. *)
+(** CPU and wall timing, plus per-phase accumulators for the multilevel
+    pipeline (coarsen / initial partition / refine). *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
@@ -6,3 +7,36 @@ val time : (unit -> 'a) -> 'a * float
 
 val now : unit -> float
 (** Processor time in seconds since program start ([Sys.time]). *)
+
+val now_wall : unit -> float
+(** Wall-clock time in seconds ([Unix.gettimeofday]).  Prefer this around
+    code that fans out over domains: processor time sums over all cores. *)
+
+val time_wall : (unit -> 'a) -> 'a * float
+(** Like {!time} with the wall clock. *)
+
+(** {1 Phase accounting} *)
+
+type phase = Coarsen | Initial | Refine
+
+type phases = {
+  mutable coarsen : float;  (** clustering + induce, all levels *)
+  mutable initial : float;  (** coarsest-netlist partitioning *)
+  mutable refine : float;  (** projection + FM refinement, all levels *)
+  mutable refine_levels : int;  (** refinement level count accumulated *)
+}
+
+val phases_create : unit -> phases
+val phases_reset : phases -> unit
+
+val add : phases -> phase -> float -> unit
+(** Accumulate [dt] wall seconds against a phase.  [Refine] also bumps
+    [refine_levels], so it is called once per refined level. *)
+
+val record : phases -> phase -> (unit -> 'a) -> 'a
+(** [record p phase f] runs [f] and charges its wall time to [phase]. *)
+
+val total : phases -> float
+
+val pp_phases : Format.formatter -> phases -> unit
+(** One-line breakdown, e.g. for [Logs] debug output. *)

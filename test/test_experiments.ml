@@ -89,6 +89,18 @@ let test_measure_parallel_identical () =
   check (Alcotest.float 1e-9) "same std" serial.Report.std_cut
     parallel.Report.std_cut
 
+let test_measure_jobs4_identical_mlc () =
+  (* the full multilevel path through a 4-domain pool: a seeded run with
+     jobs=4 must reproduce the jobs=1 cuts exactly *)
+  let h = tiny () in
+  let serial = Report.measure ~jobs:1 ~runs:8 ~seed:3 h (Algos.mlc 0.5) in
+  let parallel = Report.measure ~jobs:4 ~runs:8 ~seed:3 h (Algos.mlc 0.5) in
+  check Alcotest.int "same min" serial.Report.min_cut parallel.Report.min_cut;
+  check (Alcotest.float 1e-9) "same avg" serial.Report.avg_cut
+    parallel.Report.avg_cut;
+  check (Alcotest.float 1e-9) "same std" serial.Report.std_cut
+    parallel.Report.std_cut
+
 let test_cells () =
   check Alcotest.string "value" "42" (Report.cell (Some 42));
   check Alcotest.string "blank" "-" (Report.cell None);
@@ -163,6 +175,8 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_measure_seed_changes_runs;
           Alcotest.test_case "parallel identical" `Quick
             test_measure_parallel_identical;
+          Alcotest.test_case "jobs 4 identical (mlc)" `Quick
+            test_measure_jobs4_identical_mlc;
           Alcotest.test_case "cells" `Quick test_cells;
         ] );
       ( "paper",

@@ -293,6 +293,52 @@ let prop_induce_net_sizes =
       done;
       !ok)
 
+(* Pin-for-pin equality of two hypergraphs: same sizes, same areas, same
+   nets in the same order with identical sorted pin runs and weights. *)
+let equal_hypergraphs a b =
+  H.num_modules a = H.num_modules b
+  && H.num_nets a = H.num_nets b
+  && H.num_pins a = H.num_pins b
+  && Array.init (H.num_modules a) (H.area a)
+     = Array.init (H.num_modules b) (H.area b)
+  && begin
+       let ok = ref true in
+       for e = 0 to H.num_nets a - 1 do
+         if H.net_weight a e <> H.net_weight b e || H.pins_of a e <> H.pins_of b e
+         then ok := false
+       done;
+       !ok
+     end
+
+(* One arena shared across every generated case exercises the generational
+   stamping: reuse across hypergraphs of different sizes must not leak
+   marks between calls. *)
+let shared_arena = H.create_arena ()
+
+let prop_induce_matches_reference =
+  QCheck.Test.make
+    ~name:"direct-CSR induce equals reference impl (both merge settings)"
+    ~count:100
+    QCheck.(pair arbitrary_hypergraph small_int)
+    (fun (h, seed) ->
+      let rng = Rng.create seed in
+      let n = H.num_modules h in
+      (* small cluster counts make duplicate coarse nets likely *)
+      let k = 1 + Rng.int rng (Stdlib.max 1 (n / 2)) in
+      let cluster_of =
+        Array.init n (fun v -> if v < k then v else Rng.int rng k)
+      in
+      List.for_all
+        (fun merge_duplicates ->
+          let fast, kf =
+            H.induce ~merge_duplicates ~arena:shared_arena h cluster_of
+          in
+          let fresh, kn = H.induce ~merge_duplicates h cluster_of in
+          let slow, ks = H.induce_reference ~merge_duplicates h cluster_of in
+          kf = ks && kn = ks && equal_hypergraphs fast slow
+          && equal_hypergraphs fresh slow)
+        [ false; true ])
+
 (* ---- netD io ---- *)
 
 module Netd = Mlpart_hypergraph.Netd_io
@@ -463,6 +509,7 @@ let () =
             test_induce_rejects_length_mismatch;
           qtest prop_induce_preserves_area;
           qtest prop_induce_net_sizes;
+          qtest prop_induce_matches_reference;
         ] );
       ( "netd_io",
         [

@@ -8,6 +8,7 @@ module Mlw = Mlpart_multilevel.Ml_multiway
 module Fm = Mlpart_partition.Fm
 module Bp = Mlpart_partition.Bipartition
 module Rng = Mlpart_util.Rng
+module Pool = Mlpart_util.Pool
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -306,6 +307,21 @@ let test_vcycles_one_equals_run () =
   let b = Ml.run_vcycles ~config:Ml.mlc ~cycles:1 (Rng.create 26) h in
   check Alcotest.(array int) "identical" a.Ml.side b.Ml.side
 
+let test_ml_run_starts_pool_identical () =
+  (* pre-split generator streams + (cut, index) winner selection: the pool
+     size must not change the outcome, even with multi-start enabled at the
+     coarsest level too *)
+  let h = random_instance ~modules:300 28 in
+  let config = { Ml.mlc with Ml.coarsest_starts = 4 } in
+  let seq = Ml.run_starts ~config ~starts:6 (Rng.create 29) h in
+  let par =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Ml.run_starts ~config ~pool ~starts:6 (Rng.create 29) h)
+  in
+  check Alcotest.int "same cut" seq.Ml.cut par.Ml.cut;
+  check Alcotest.(array int) "same side" seq.Ml.side par.Ml.side;
+  check Alcotest.int "cut recount" (Fm.cut_of h par.Ml.side) par.Ml.cut
+
 let test_vcycles_rejects_zero () =
   let h = random_instance 27 in
   (match Ml.run_vcycles ~cycles:0 (Rng.create 1) h with
@@ -449,6 +465,8 @@ let () =
           Alcotest.test_case "vcycles monotone" `Slow test_vcycles_monotone;
           Alcotest.test_case "one vcycle = run" `Quick test_vcycles_one_equals_run;
           Alcotest.test_case "vcycles reject zero" `Quick test_vcycles_rejects_zero;
+          Alcotest.test_case "run_starts pool identical" `Quick
+            test_ml_run_starts_pool_identical;
         ] );
       ( "rb",
         [

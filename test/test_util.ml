@@ -169,6 +169,81 @@ let test_timer_returns_result () =
   check Alcotest.int "result" 42 value;
   check Alcotest.bool "non-negative" true (elapsed >= 0.0)
 
+let test_timer_phases () =
+  let module Timer = Mlpart_util.Timer in
+  let p = Timer.phases_create () in
+  let v = Timer.record p Timer.Coarsen (fun () -> 21 * 2) in
+  check Alcotest.int "record passes result" 42 v;
+  ignore (Timer.record p Timer.Refine (fun () -> ()));
+  ignore (Timer.record p Timer.Refine (fun () -> ()));
+  check Alcotest.int "refine levels counted" 2 p.Timer.refine_levels;
+  check Alcotest.bool "total sums phases" true
+    (Timer.total p >= p.Timer.coarsen && Timer.total p >= 0.0);
+  Timer.phases_reset p;
+  check Alcotest.int "reset clears levels" 0 p.Timer.refine_levels;
+  check (Alcotest.float 0.0) "reset clears time" 0.0 (Timer.total p)
+
+(* ---- Pool ---- *)
+
+module Pool = Mlpart_util.Pool
+
+let test_pool_parallel_for () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check Alcotest.int "size" 4 (Pool.size pool);
+      let n = 1000 in
+      let out = Array.make n 0 in
+      Pool.parallel_for pool ~start:0 ~stop:n ~body:(fun i -> out.(i) <- i * i);
+      for i = 0 to n - 1 do
+        if out.(i) <> i * i then Alcotest.failf "slot %d not written" i
+      done;
+      (* reuse of the same pool for a second job *)
+      Pool.parallel_for pool ~start:0 ~stop:n ~body:(fun i -> out.(i) <- i);
+      check Alcotest.int "second job" 999 out.(n - 1))
+
+let test_pool_map_order () =
+  (* result order is input order regardless of pool size *)
+  let input = Array.init 257 (fun i -> i) in
+  let seq = Array.map (fun i -> (i * 7) mod 64) input in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let got = Pool.map pool (fun i -> (i * 7) mod 64) input in
+          check
+            Alcotest.(array int)
+            (Printf.sprintf "map order jobs=%d" jobs)
+            seq got))
+    [ 1; 2; 4 ]
+
+let test_pool_map_reduce () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let a = Array.init 100 (fun i -> i + 1) in
+      let total =
+        Pool.map_reduce pool ~map:(fun x -> x * x)
+          ~reduce:(fun acc x -> acc + x)
+          ~init:0 a
+      in
+      check Alcotest.int "sum of squares" 338350 total)
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Pool.parallel_for pool ~start:0 ~stop:8 ~body:(fun i ->
+            if i = 5 then failwith "boom")
+      with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure msg -> check Alcotest.string "message" "boom" msg);
+  (* pool stays usable after shutdown of the failed one: fresh pool runs *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let out = Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+      check Alcotest.(array int) "fresh pool works" [| 2; 3; 4 |] out)
+
+let test_pool_sequential_fallback () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check Alcotest.int "size 1" 1 (Pool.size pool);
+      let out = Pool.map pool (fun x -> 2 * x) [| 3; 4 |] in
+      check Alcotest.(array int) "sequential map" [| 6; 8 |] out);
+  check Alcotest.bool "recommended >= 1" true (Pool.recommended_jobs () >= 1)
+
 let () =
   Alcotest.run "util"
     [
@@ -202,5 +277,18 @@ let () =
           Alcotest.test_case "formatters" `Quick test_tab_formatters;
         ] );
       ( "timer",
-        [ Alcotest.test_case "returns result" `Quick test_timer_returns_result ] );
+        [
+          Alcotest.test_case "returns result" `Quick test_timer_returns_result;
+          Alcotest.test_case "phase accounting" `Quick test_timer_phases;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for" `Quick test_pool_parallel_for;
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "map_reduce" `Quick test_pool_map_reduce;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "sequential fallback" `Quick
+            test_pool_sequential_fallback;
+        ] );
     ]
