@@ -32,6 +32,29 @@ let kernels ?json () =
   let primary1 = h "primary1" in
   let rng = Rng.create 42 in
   let stage name f = Test.make ~name (Staged.stage f) in
+  (* Refinement-only kernel: the hierarchy and coarsest-level solution are
+     built once, so the staged function times exactly the uncoarsening
+     sweep (project + engine run per level) that the FM engine dominates.
+     One arena is reused across iterations, as the multilevel drivers do. *)
+  let module Ml = Mlpart_multilevel.Ml in
+  let module Hierarchy = Mlpart_multilevel.Hierarchy in
+  let refine_kernel =
+    let c = Ml.mlc in
+    let hier =
+      Hierarchy.build ~threshold:c.Ml.threshold ~ratio:c.Ml.ratio
+        ~match_net_size:c.Ml.match_net_size
+        ~merge_duplicates:c.Ml.merge_duplicates ~max_levels:c.Ml.max_levels
+        (Rng.create 11) balu
+    in
+    let coarse =
+      (Mlpart_partition.Fm.run ~config:c.Ml.engine (Rng.create 12)
+         hier.Hierarchy.coarsest)
+        .Mlpart_partition.Fm.side
+    in
+    let arena = Mlpart_partition.Fm.create_arena ~h:balu () in
+    stage "phases/refine" (fun () ->
+        ignore (Ml.refine_up c ~arena (Rng.split rng) hier coarse))
+  in
   let tests =
     Test.make_grouped ~name:"kernels"
       [
@@ -67,6 +90,8 @@ let kernels ?json () =
             ignore (Mlpart_multilevel.Rb.run (Rng.split rng) balu ~k:4));
         stage "extras/topdown-place" (fun () ->
             ignore (Mlpart_placement.Topdown.run (Rng.split rng) balu));
+        (* Phase kernel: uncoarsening refinement sweep alone. *)
+        refine_kernel;
         (* Substrate kernels. *)
         stage "substrate/induce" (fun () ->
             let cluster_of, _ =

@@ -48,6 +48,15 @@ let pins_of t e = Array.sub t.net_pins t.net_offsets.(e) (net_size t e)
 let net_offset t e = t.net_offsets.(e)
 let pin_at t slot = t.net_pins.(slot)
 
+(* Read-only views of the internal CSR arrays, for engine hot loops that
+   cannot afford per-element function calls.  Callers must not write. *)
+let net_offsets_store t = t.net_offsets
+let net_pins_store t = t.net_pins
+let net_weights_store t = t.net_weights
+let mod_offsets_store t = t.mod_offsets
+let mod_nets_store t = t.mod_nets
+let areas_store t = t.areas
+
 let fold_pins_of t e ~init ~f =
   let acc = ref init in
   iter_pins_of t e (fun v -> acc := f !acc v);

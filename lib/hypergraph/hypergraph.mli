@@ -67,6 +67,33 @@ val net_offset : t -> int -> int
 val pin_at : t -> int -> int
 (** Module id stored at a global pin slot. *)
 
+(** {1 Raw CSR views}
+
+    Direct references to the internal CSR arrays, for refinement-engine
+    inner loops where even the accessor-call overhead of {!net_offset} /
+    {!pin_at} is measurable.  The arrays are the live representation —
+    treat them as strictly read-only. *)
+
+val net_offsets_store : t -> int array
+(** Length [num_nets + 1]; net [e]'s pins live at slots
+    [net_offsets.(e) .. net_offsets.(e+1) - 1] of {!net_pins_store}. *)
+
+val net_pins_store : t -> int array
+(** Module id per global pin slot. *)
+
+val net_weights_store : t -> int array
+(** Weight per net. *)
+
+val mod_offsets_store : t -> int array
+(** Length [num_modules + 1]; module [v]'s incident nets live at slots
+    [mod_offsets.(v) .. mod_offsets.(v+1) - 1] of {!mod_nets_store}. *)
+
+val mod_nets_store : t -> int array
+(** Net id per module-incidence slot. *)
+
+val areas_store : t -> int array
+(** Area per module. *)
+
 (** {1 Whole-graph queries} *)
 
 val max_module_degree : t -> int

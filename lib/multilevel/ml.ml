@@ -63,29 +63,39 @@ let best_of results =
    initial solution, with multi-start as the §V extension.  Starts draw
    from generators pre-split from [rng] — one split per start regardless
    of [pool] — so the result is identical for any pool size, including the
-   sequential [None]. *)
-let partition_coarsest config ?init ?fixed ?pool rng coarsest =
+   sequential [None].  Sequential starts share [arena]; pooled starts let
+   each Fm.run create its own (arenas are domain-local), which is
+   bit-identical anyway. *)
+let partition_coarsest config ?init ?fixed ?pool ?arena rng coarsest =
   let starts = Stdlib.max 1 config.coarsest_starts in
-  if starts = 1 then Fm.run ~config:config.engine ?init ?fixed rng coarsest
+  if starts = 1 then Fm.run ~config:config.engine ?init ?fixed ?arena rng coarsest
   else begin
     let rngs = Array.init starts (fun _ -> Rng.split rng) in
-    let one rng = Fm.run ~config:config.engine ?init ?fixed rng coarsest in
     let results =
       match pool with
-      | Some pool when Pool.size pool > 1 -> Pool.map pool one rngs
-      | Some _ | None -> Array.map one rngs
+      | Some pool when Pool.size pool > 1 ->
+          Pool.map pool
+            (fun rng -> Fm.run ~config:config.engine ?init ?fixed rng coarsest)
+            rngs
+      | Some _ | None ->
+          Array.map
+            (fun rng ->
+              Fm.run ~config:config.engine ?init ?fixed ?arena rng coarsest)
+            rngs
     in
     best_of results
   end
 
-(* Uncoarsening: project and refine level by level (steps 7-9). *)
-let refine_up config ?phases rng hierarchy initial_side =
+(* Uncoarsening: project and refine level by level (steps 7-9).  One arena
+   serves every level: engine state is allocated once, at the finest
+   level's size, instead of rebuilt per level. *)
+let refine_up config ?phases ?arena rng hierarchy initial_side =
   List.fold_left
     (fun coarse_side { Hierarchy.netlist; cluster_of; fixed } ->
       let started = Timer.now_wall () in
       let projected = project cluster_of coarse_side in
       let refined =
-        Fm.run ~config:config.engine ~init:projected ?fixed rng netlist
+        Fm.run ~config:config.engine ~init:projected ?fixed ?arena rng netlist
       in
       (match phases with
       | Some p -> Timer.add p Timer.Refine (Timer.now_wall () -. started)
@@ -102,7 +112,8 @@ let refine_up config ?phases rng hierarchy initial_side =
 let recorded phases phase f =
   match phases with Some p -> Timer.record p phase f | None -> f ()
 
-let run ?(config = mlf) ?fixed ?pool ?phases rng h =
+let run ?(config = mlf) ?fixed ?pool ?phases ?arena rng h =
+  let arena = match arena with Some a -> a | None -> Fm.create_arena ~h () in
   let hierarchy =
     recorded phases Timer.Coarsen (fun () -> build_hierarchy config ?fixed rng h)
   in
@@ -114,9 +125,9 @@ let run ?(config = mlf) ?fixed ?pool ?phases rng h =
   let initial =
     recorded phases Timer.Initial (fun () ->
         partition_coarsest config ?fixed:hierarchy.Hierarchy.coarsest_fixed
-          ?pool rng hierarchy.Hierarchy.coarsest)
+          ?pool ~arena rng hierarchy.Hierarchy.coarsest)
   in
-  let side = refine_up config ?phases rng hierarchy initial.Fm.side in
+  let side = refine_up config ?phases ~arena rng hierarchy initial.Fm.side in
   (match phases with
   | Some p -> Log.debug (fun m -> m "%s: %a" (H.name h) Timer.pp_phases p)
   | None -> ());
@@ -131,7 +142,7 @@ let run ?(config = mlf) ?fixed ?pool ?phases rng h =
    same-side pairs (every cluster is side-pure, so the solution projects
    without loss), refine the projected solution at each level on the way
    back up. *)
-let vcycle config ?fixed ?phases rng h side =
+let vcycle config ?fixed ?phases ?arena rng h side =
   let pair_ok v w = side.(v) = side.(w) in
   let hierarchy =
     recorded phases Timer.Coarsen (fun () ->
@@ -156,18 +167,19 @@ let vcycle config ?fixed ?phases rng h side =
   let initial =
     recorded phases Timer.Initial (fun () ->
         Fm.run ~config:config.engine ~init:coarsest_side
-          ?fixed:hierarchy.Hierarchy.coarsest_fixed rng
+          ?fixed:hierarchy.Hierarchy.coarsest_fixed ?arena rng
           hierarchy.Hierarchy.coarsest)
   in
-  refine_up config ?phases rng hierarchy initial.Fm.side
+  refine_up config ?phases ?arena rng hierarchy initial.Fm.side
 
-let run_vcycles ?(config = mlf) ?fixed ?pool ?phases ~cycles rng h =
+let run_vcycles ?(config = mlf) ?fixed ?pool ?phases ?arena ~cycles rng h =
   if cycles < 1 then invalid_arg "Ml.run_vcycles: cycles < 1";
-  let first = run ~config ?fixed ?pool ?phases rng h in
+  let arena = match arena with Some a -> a | None -> Fm.create_arena ~h () in
+  let first = run ~config ?fixed ?pool ?phases ~arena rng h in
   let side = ref first.side in
   let cut = ref first.cut in
   for _ = 2 to cycles do
-    let refined = vcycle config ?fixed ?phases rng h !side in
+    let refined = vcycle config ?fixed ?phases ~arena rng h !side in
     let refined_cut = Fm.cut_of h refined in
     if refined_cut <= !cut then begin
       side := refined;
@@ -184,11 +196,16 @@ let run_vcycles ?(config = mlf) ?fixed ?pool ?phases ~cycles rng h =
 let run_starts ?(config = mlf) ?fixed ?pool ?(cycles = 1) ~starts rng h =
   if starts < 1 then invalid_arg "Ml.run_starts: starts < 1";
   let rngs = Array.init starts (fun _ -> Rng.split rng) in
-  let one rng = run_vcycles ~config ?fixed ~cycles rng h in
   let results =
     match pool with
-    | Some pool when Pool.size pool > 1 && starts > 1 -> Pool.map pool one rngs
-    | Some _ | None -> Array.map one rngs
+    | Some pool when Pool.size pool > 1 && starts > 1 ->
+        (* each pooled start builds its own arena inside run_vcycles *)
+        Pool.map pool (fun rng -> run_vcycles ~config ?fixed ~cycles rng h) rngs
+    | Some _ | None ->
+        let arena = Fm.create_arena ~h () in
+        Array.map
+          (fun rng -> run_vcycles ~config ?fixed ~arena ~cycles rng h)
+          rngs
   in
   let best = ref results.(0) in
   for i = 1 to starts - 1 do

@@ -42,6 +42,7 @@ val run :
   ?fixed:int array ->
   ?pool:Mlpart_util.Pool.t ->
   ?phases:Mlpart_util.Timer.phases ->
+  ?arena:Mlpart_partition.Fm.arena ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
   result
@@ -56,13 +57,19 @@ val run :
 
     [phases] accumulates the per-phase wall-time breakdown
     (coarsen / initial / refine-per-level); see
-    {!Mlpart_util.Timer.phases}. *)
+    {!Mlpart_util.Timer.phases}.
+
+    [arena] is reusable FM engine scratch shared by the initial partition
+    and every refinement level; without it one is created per call, sized
+    to [h] (see {!Mlpart_partition.Fm.arena}).  Results are identical
+    either way. *)
 
 val run_vcycles :
   ?config:config ->
   ?fixed:int array ->
   ?pool:Mlpart_util.Pool.t ->
   ?phases:Mlpart_util.Timer.phases ->
+  ?arena:Mlpart_partition.Fm.arena ->
   cycles:int ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
@@ -105,3 +112,16 @@ val coarsen :
 val project : int array -> int array -> int array
 (** [project cluster_of coarse_side] lifts a coarse assignment to the finer
     level (Definition 2). *)
+
+val refine_up :
+  config ->
+  ?phases:Mlpart_util.Timer.phases ->
+  ?arena:Mlpart_partition.Fm.arena ->
+  Mlpart_util.Rng.t ->
+  Hierarchy.t ->
+  int array ->
+  int array
+(** The uncoarsening half of {!run} (steps 7-9 of Figure 2): project the
+    coarsest-level assignment level by level and refine each projection
+    with the configured engine, returning the finest-level assignment.
+    Exposed for refinement-only benchmarking and custom flows. *)

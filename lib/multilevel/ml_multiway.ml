@@ -30,10 +30,13 @@ let run ?(config = default) ?fixed rng h ~k =
       ~merge_duplicates:config.merge_duplicates ~max_levels:config.max_levels
       ?fixed rng h
   in
+  (* One engine arena shared by the initial partition and every
+     refinement level, as in Ml.refine_up. *)
+  let arena = Multiway.create_arena () in
   let initial =
     Multiway.run ~config:config.engine
-      ?fixed:hierarchy.Hierarchy.coarsest_fixed rng hierarchy.Hierarchy.coarsest
-      ~k
+      ?fixed:hierarchy.Hierarchy.coarsest_fixed ~arena rng
+      hierarchy.Hierarchy.coarsest ~k
   in
   let side =
     List.fold_left
@@ -41,7 +44,7 @@ let run ?(config = default) ?fixed rng h ~k =
         let projected = Ml.project cluster_of coarse_side in
         let refined =
           Multiway.run ~config:config.engine ~init:projected ?fixed:level_fixed
-            rng netlist ~k
+            ~arena rng netlist ~k
         in
         refined.Multiway.side)
       initial.Multiway.side

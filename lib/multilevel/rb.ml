@@ -44,6 +44,9 @@ let run ?(config = default) rng h ~k =
   let n = H.num_modules h in
   let part = Array.make n 0 in
   let bisections = ref 0 in
+  (* One engine arena for the whole bisection tree: sub-netlists only
+     shrink, so the root-level allocation serves every recursive call. *)
+  let arena = Mlpart_partition.Fm.create_arena ~h () in
   let rec split members lo parts =
     if parts = 1 || Array.length members <= 1 then
       Array.iter (fun v -> part.(v) <- lo) members
@@ -54,7 +57,7 @@ let run ?(config = default) rng h ~k =
         if H.num_nets sub = 0 then
           (* no internal connectivity: alternate for balance *)
           Array.init (Array.length members) (fun i -> i land 1)
-        else (Ml.run ~config:config.ml rng sub).Ml.side
+        else (Ml.run ~config:config.ml ~arena rng sub).Ml.side
       in
       let left = ref [] and right = ref [] in
       for i = Array.length members - 1 downto 0 do

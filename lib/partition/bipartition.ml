@@ -33,14 +33,18 @@ let wide_bounds ?(tolerance = 0.1) h =
 
 let compute_state h side =
   let m = H.num_nets h in
+  let noff = H.net_offsets_store h in
+  let pins = H.net_pins_store h in
+  let wts = H.net_weights_store h in
   let pins_on = Array.make (2 * m) 0 in
   let cut = ref 0 in
   for e = 0 to m - 1 do
-    H.iter_pins_of h e (fun v ->
-        let s = side.(v) in
-        pins_on.((2 * e) + s) <- pins_on.((2 * e) + s) + 1);
+    for i = noff.(e) to noff.(e + 1) - 1 do
+      let s = side.(pins.(i)) in
+      pins_on.((2 * e) + s) <- pins_on.((2 * e) + s) + 1
+    done;
     if pins_on.(2 * e) > 0 && pins_on.((2 * e) + 1) > 0 then
-      cut := !cut + H.net_weight h e
+      cut := !cut + wts.(e)
   done;
   (pins_on, !cut)
 
@@ -89,9 +93,13 @@ let copy t =
 let hypergraph t = t.h
 let side t v = t.side.(v)
 let side_array t = Array.copy t.side
+let side_store t = t.side
 let area_of_side t s = t.areas.(s)
 let cut t = t.cut
 let pins_on t e s = t.pins_on.((2 * e) + s)
+let pins_on_store t = t.pins_on
+let areas_store t = t.areas
+let is_cut t e = t.pins_on.(2 * e) > 0 && t.pins_on.((2 * e) + 1) > 0
 
 let is_balanced t b = t.areas.(0) >= b.lo && t.areas.(0) <= b.hi
 
@@ -110,6 +118,18 @@ let gain ?(net_threshold = max_int) t v =
         let acc = if pins_on t e from = 1 then acc + w else acc in
         if pins_on t e dest = 0 then acc - w else acc)
 
+(* Flip a module's side and the side areas only, leaving pin counts and the
+   cut to the caller: the FM engine fuses the per-net count updates into its
+   own gain-update sweeps and recomputes the cut once per run, so the
+   engine's [t.cut] is stale between [stage_move] and {!recompute_cut}. *)
+let stage_move t v =
+  let from = t.side.(v) in
+  let dest = 1 - from in
+  let a = H.area t.h v in
+  t.side.(v) <- dest;
+  t.areas.(from) <- t.areas.(from) - a;
+  t.areas.(dest) <- t.areas.(dest) + a
+
 let move t v =
   let from = t.side.(v) in
   let dest = 1 - from in
@@ -117,14 +137,25 @@ let move t v =
   t.side.(v) <- dest;
   t.areas.(from) <- t.areas.(from) - a;
   t.areas.(dest) <- t.areas.(dest) + a;
-  H.iter_nets_of t.h v (fun e ->
-      let fi = (2 * e) + from and di = (2 * e) + dest in
-      let before_cut = t.pins_on.(fi) > 0 && t.pins_on.(di) > 0 in
-      t.pins_on.(fi) <- t.pins_on.(fi) - 1;
-      t.pins_on.(di) <- t.pins_on.(di) + 1;
-      let after_cut = t.pins_on.(fi) > 0 && t.pins_on.(di) > 0 in
-      if before_cut && not after_cut then t.cut <- t.cut - H.net_weight t.h e
-      else if after_cut && not before_cut then t.cut <- t.cut + H.net_weight t.h e)
+  (* Direct CSR walk: with [v] leaving [from], the from-count was [pf + 1]
+     (never 0), so the net was cut before iff the dest side was occupied
+     ([pd >= 2] after increment) and is cut after iff [pf > 0]. *)
+  let moff = H.mod_offsets_store t.h and mnets = H.mod_nets_store t.h in
+  let wts = H.net_weights_store t.h in
+  let pins_on = t.pins_on in
+  let cut = ref t.cut in
+  for i = moff.(v) to moff.(v + 1) - 1 do
+    let e = mnets.(i) in
+    let fi = (2 * e) + from and di = (2 * e) + dest in
+    let pf = pins_on.(fi) - 1 and pd = pins_on.(di) + 1 in
+    pins_on.(fi) <- pf;
+    pins_on.(di) <- pd;
+    if pf = 0 then begin
+      if pd >= 2 then cut := !cut - wts.(e)
+    end
+    else if pd = 1 then cut := !cut + wts.(e)
+  done;
+  t.cut <- !cut
 
 let rebalance ?fixed rng t b =
   let n = H.num_modules t.h in

@@ -51,6 +51,27 @@ val cut : t -> int
 val pins_on : t -> int -> int -> int
 (** [pins_on t e s] is the number of pins of net [e] on side [s]. *)
 
+val is_cut : t -> int -> bool
+(** Does net [e] currently have pins on both sides?  Engines use this to
+    maintain the boundary frontier (the modules incident to cut nets). *)
+
+(** {1 Hot-loop views}
+
+    Direct read-only views of the internal arrays, for engine inner loops
+    that touch every pin per pass and cannot afford a call per access.
+    Callers must not write through them; they alias live state and are
+    invalidated by nothing — contents change under {!move}. *)
+
+val side_store : t -> int array
+(** [.(v)] is the side of module [v]. *)
+
+val pins_on_store : t -> int array
+(** [.(2 * e + s)] is the pin count of net [e] on side [s]. *)
+
+val areas_store : t -> int array
+(** [.(s)] is the current area of side [s]; lets engines test balance
+    feasibility without a call per candidate. *)
+
 val is_balanced : t -> bounds -> bool
 
 val move_is_feasible : t -> bounds -> int -> bool
@@ -67,6 +88,13 @@ val move : t -> int -> unit
     [O(degree v * avg net size)] for cut-state transitions (amortised
     O(degree)). Self-inverse. *)
 
+val stage_move : t -> int -> unit
+(** Engine-internal variant of {!move}: flip [v]'s side and the side areas
+    {e only}.  The caller owns the per-net pin-count updates (through
+    {!pins_on_store}, fused into its own gain-update sweeps) and must treat
+    {!cut} as stale until it recomputes it (see {!recompute_cut}).  Balance
+    queries ({!is_balanced}, {!move_is_feasible}) stay exact throughout. *)
+
 val rebalance : ?fixed:int array -> Mlpart_util.Rng.t -> t -> bounds -> int
 (** Randomly move modules from the heavier side until [is_balanced]; returns
     the number of moves.  Used after projecting a coarse solution whose
@@ -76,5 +104,6 @@ val rebalance : ?fixed:int array -> Mlpart_util.Rng.t -> t -> bounds -> int
 (** {1 Verification} *)
 
 val recompute_cut : t -> int
-(** Cut recomputed from scratch; equals [cut t] unless state was corrupted.
-    Used by tests and assertions only. *)
+(** Cut recomputed from scratch in one CSR sweep; equals [cut t] unless
+    moves were staged with {!stage_move}.  Used by tests, assertions, and
+    engines that fuse their own count maintenance. *)

@@ -36,10 +36,66 @@ type result = { side : int array; cut : int; passes : int; moves : int }
 
 let cut_of h side = Bipartition.cut (Bipartition.create h side)
 
+(* Reusable engine scratch, independent of any particular run: every array a
+   run needs, sized to the largest netlist seen so far, plus the two gain
+   buckets (reconfigured per run via [Gain_bucket.reinit]).  A multilevel
+   refinement sweep threads one arena through every level so per-level
+   engine state is allocated once, at the finest level's size, instead of
+   once per level.  Not safe to share between domains.  [ids] is kept at the
+   exact module count (whole-array shuffle/sort), the rest grow-only.
+   [bnd]/[bnd_epoch] are the epoch-stamped boundary-frontier marks. *)
+type arena = {
+  mutable gain : int array;
+  mutable gain0 : int array;
+  mutable locked : bool array;
+  mutable frozen : bool array;
+  mutable free_on : int array;
+  mutable order : int array;
+  mutable ids : int array;
+  mutable bnd : int array;
+  mutable bnd_epoch : int;
+  buckets : Gain_bucket.t array; (* one per side *)
+}
+
+let create_arena ?h () =
+  let n, m =
+    match h with Some h -> (H.num_modules h, H.num_nets h) | None -> (0, 0)
+  in
+  let mk_bucket () =
+    Gain_bucket.create ~policy:Gain_bucket.Lifo ~min_gain:0 ~max_gain:0
+      ~capacity:n ()
+  in
+  {
+    gain = Array.make n 0;
+    gain0 = Array.make n 0;
+    locked = Array.make n false;
+    frozen = Array.make n false;
+    free_on = Array.make (2 * m) 0;
+    order = Array.make n 0;
+    ids = Array.make n 0;
+    bnd = Array.make n 0;
+    bnd_epoch = 0;
+    buckets = [| mk_bucket (); mk_bucket () |];
+  }
+
+let ensure_arena a n m =
+  if Array.length a.gain < n then begin
+    a.gain <- Array.make n 0;
+    a.gain0 <- Array.make n 0;
+    a.locked <- Array.make n false;
+    a.frozen <- Array.make n false;
+    a.order <- Array.make n 0;
+    a.bnd <- Array.make n 0;
+    a.bnd_epoch <- 0
+  end;
+  if Array.length a.ids <> n then a.ids <- Array.make n 0;
+  if Array.length a.free_on < 2 * m then a.free_on <- Array.make (2 * m) 0
+
 (* Per-run engine state.  [gain] holds true gains of free modules; under
    CLIP the bucket key of a module is [gain - gain0] (its offset from the
    pass-initial gain), otherwise the gain itself.  [free_on.(2e+s)] counts
-   unlocked pins of net e on side s, used by lookahead gain vectors. *)
+   unlocked pins of net e on side s, used by lookahead gain vectors.  All
+   array fields alias the arena; they may be longer than the run needs. *)
 type state = {
   cfg : config;
   h : H.t;
@@ -47,6 +103,7 @@ type state = {
   bounds : Bipartition.bounds;
   fixed : int array option;
   rng : Rng.t;
+  a : arena;
   gain : int array;
   gain0 : int array;
   locked : bool array;
@@ -55,13 +112,25 @@ type state = {
   buckets : Gain_bucket.t array; (* one per side *)
   order : int array; (* move stack *)
   lookahead_vec : int array; (* scratch for vector comparison *)
+  (* Raw views for the move loop: the live side / pin-count stores of [bp]
+     and the hypergraph CSR arrays, so gain updates are pure array
+     arithmetic with no per-element calls.  Read-only except [free_on]. *)
+  side : int array;
+  pins_on : int array;
+  noff : int array; (* net -> first pin slot, length m+1 *)
+  pins : int array; (* module per pin slot *)
+  moff : int array; (* module -> first net slot, length n+1 *)
+  mnets : int array; (* net per module-incidence slot *)
+  wts : int array; (* weight per net *)
+  areas : int array; (* live side areas of [bp] *)
+  feas : int -> bool; (* balance feasibility of moving a module *)
 }
 
 let key_of st v = if st.cfg.clip then st.gain.(v) - st.gain0.(v) else st.gain.(v)
 
 let bump st u delta =
   st.gain.(u) <- st.gain.(u) + delta;
-  let bucket = st.buckets.(Bipartition.side st.bp u) in
+  let bucket = st.buckets.(st.side.(u)) in
   if Gain_bucket.contains bucket u then Gain_bucket.adjust bucket u delta
   else
     (* boundary mode: a module outside the frontier enters the structure
@@ -69,44 +138,92 @@ let bump st u delta =
     Gain_bucket.insert bucket u (key_of st u)
 
 (* FM critical-net gain updates around moving [v]; [v] must already be
-   locked and removed from its bucket, the partition not yet updated. *)
+   locked and removed from its bucket, the partition not yet updated.
+   Both sweeps walk the CSR directly: nets of [v] by incidence slot, pins
+   of each critical net by pin slot.  The partition's per-net count update
+   is fused into the first sweep (each net's counts are only read in its
+   own iteration, so pre-move values are still what the gain terms see),
+   and the side/area flip sits between the sweeps via
+   [Bipartition.stage_move] — the bipartition's incremental cut is left
+   stale during passes and recomputed once per run. *)
 let apply_move st v =
   let thr = st.cfg.net_threshold in
-  let from = Bipartition.side st.bp v in
+  let from = st.side.(v) in
   let dest = 1 - from in
-  H.iter_nets_of st.h v (fun e ->
-      if H.net_size st.h e <= thr then begin
-        let w = H.net_weight st.h e in
-        let t_cnt = Bipartition.pins_on st.bp e dest in
-        if t_cnt = 0 then
-          H.iter_pins_of st.h e (fun u -> if not st.locked.(u) then bump st u w)
-        else if t_cnt = 1 then
-          H.iter_pins_of st.h e (fun u ->
-              if Bipartition.side st.bp u = dest && not st.locked.(u) then
-                bump st u (-w))
-      end);
-  Bipartition.move st.bp v;
-  H.iter_nets_of st.h v (fun e ->
-      st.free_on.((2 * e) + from) <- st.free_on.((2 * e) + from) - 1;
-      if H.net_size st.h e <= thr then begin
-        let w = H.net_weight st.h e in
-        let f_cnt = Bipartition.pins_on st.bp e from in
-        if f_cnt = 0 then
-          H.iter_pins_of st.h e (fun u -> if not st.locked.(u) then bump st u (-w))
-        else if f_cnt = 1 then
-          H.iter_pins_of st.h e (fun u ->
-              if Bipartition.side st.bp u = from && not st.locked.(u) then
-                bump st u w)
-      end)
+  let noff = st.noff
+  and pins = st.pins
+  and mnets = st.mnets
+  and wts = st.wts
+  and pins_on = st.pins_on
+  and locked = st.locked
+  and side = st.side in
+  let lo = st.moff.(v) and hi = st.moff.(v + 1) - 1 in
+  for i = lo to hi do
+    let e = mnets.(i) in
+    let off = noff.(e) in
+    let last = noff.(e + 1) - 1 in
+    let fi = (2 * e) + from and di = (2 * e) + dest in
+    if last - off < thr then begin
+      let t_cnt = pins_on.(di) in
+      if t_cnt = 0 then begin
+        let w = wts.(e) in
+        for j = off to last do
+          let u = pins.(j) in
+          if not locked.(u) then bump st u w
+        done
+      end
+      else if t_cnt = 1 then begin
+        let w = wts.(e) in
+        for j = off to last do
+          let u = pins.(j) in
+          if side.(u) = dest && not locked.(u) then bump st u (-w)
+        done
+      end
+    end;
+    pins_on.(fi) <- pins_on.(fi) - 1;
+    pins_on.(di) <- pins_on.(di) + 1
+  done;
+  Bipartition.stage_move st.bp v;
+  for i = lo to hi do
+    let e = mnets.(i) in
+    st.free_on.((2 * e) + from) <- st.free_on.((2 * e) + from) - 1;
+    let off = noff.(e) in
+    let last = noff.(e + 1) - 1 in
+    if last - off < thr then begin
+      let f_cnt = pins_on.((2 * e) + from) in
+      if f_cnt = 0 then begin
+        let w = wts.(e) in
+        for j = off to last do
+          let u = pins.(j) in
+          if not locked.(u) then bump st u (-w)
+        done
+      end
+      else if f_cnt = 1 then begin
+        let w = wts.(e) in
+        for j = off to last do
+          let u = pins.(j) in
+          if side.(u) = from && not locked.(u) then bump st u w
+        done
+      end
+    end
+  done
 
 (* Undo a move made by [apply_move]: partition state only — gains and
    buckets are rebuilt wholesale afterwards (paper §V notes full
-   reinitialisation per pass; CDIP backtracks rebuild too). *)
+   reinitialisation per pass; CDIP backtracks rebuild too).  Same fused
+   count maintenance as [apply_move]. *)
 let unmove st v =
-  let from = Bipartition.side st.bp v in
-  Bipartition.move st.bp v;
-  H.iter_nets_of st.h v (fun e ->
-      st.free_on.((2 * e) + from) <- st.free_on.((2 * e) + from) + 1)
+  let from = st.side.(v) in
+  let dest = 1 - from in
+  let pins_on = st.pins_on in
+  Bipartition.stage_move st.bp v;
+  for i = st.moff.(v) to st.moff.(v + 1) - 1 do
+    let e = st.mnets.(i) in
+    let fi = (2 * e) + from and di = (2 * e) + dest in
+    pins_on.(fi) <- pins_on.(fi) - 1;
+    pins_on.(di) <- pins_on.(di) + 1;
+    st.free_on.((2 * e) + from) <- st.free_on.((2 * e) + from) + 1
+  done
 
 (* Krishnamurthy level-r gain vector of a free module, in one sweep over its
    nets.  Binding number of a side is infinite when a locked pin sits there
@@ -114,19 +231,22 @@ let unmove st v =
 let gain_vector st v r vec =
   Array.fill vec 0 r 0;
   let thr = st.cfg.net_threshold in
-  let a = Bipartition.side st.bp v in
+  let a = st.side.(v) in
   let b = 1 - a in
-  H.iter_nets_of st.h v (fun e ->
-      if H.net_size st.h e <= thr then begin
-        let w = H.net_weight st.h e in
-        let free_a = st.free_on.((2 * e) + a)
-        and free_b = st.free_on.((2 * e) + b) in
-        let locked_a = Bipartition.pins_on st.bp e a - free_a
-        and locked_b = Bipartition.pins_on st.bp e b - free_b in
-        if locked_a = 0 && free_a - 1 < r then
-          vec.(free_a - 1) <- vec.(free_a - 1) + w;
-        if locked_b = 0 && free_b < r then vec.(free_b) <- vec.(free_b) - w
-      end)
+  let noff = st.noff and mnets = st.mnets and wts = st.wts in
+  for i = st.moff.(v) to st.moff.(v + 1) - 1 do
+    let e = mnets.(i) in
+    if noff.(e + 1) - noff.(e) <= thr then begin
+      let w = wts.(e) in
+      let free_a = st.free_on.((2 * e) + a)
+      and free_b = st.free_on.((2 * e) + b) in
+      let locked_a = st.pins_on.((2 * e) + a) - free_a
+      and locked_b = st.pins_on.((2 * e) + b) - free_b in
+      if locked_a = 0 && free_a - 1 < r then
+        vec.(free_a - 1) <- vec.(free_a - 1) + w;
+      if locked_b = 0 && free_b < r then vec.(free_b) <- vec.(free_b) - w
+    end
+  done
 
 let compare_vectors a b r =
   let rec go i =
@@ -136,36 +256,38 @@ let compare_vectors a b r =
   in
   go 0
 
-let feasible st v = Bipartition.move_is_feasible st.bp st.bounds v
-
-(* Candidate selection.  Both sides' best feasible keys are compared; key
-   ties go to the heavier side (helps balance).  Under lookahead, all
-   feasible candidates sharing the winning key (bounded scan) are compared
-   by gain vector. *)
+(* Candidate selection; returns the module to move, or -1 when no feasible
+   candidate remains.  Both sides' best feasible keys are compared; key ties
+   go to the heavier side (helps balance).  Under lookahead, all feasible
+   candidates sharing the winning key (bounded scan) are compared by gain
+   vector.  [st.feas] is the one per-run feasibility closure; the whole
+   path allocates nothing on the plain tie-break. *)
 let select st =
-  let cand s = Gain_bucket.select_max_satisfying st.buckets.(s) (feasible st) in
-  let choice =
-    match (cand 0, cand 1) with
-    | None, None -> None
-    | Some (v, g), None | None, Some (v, g) -> Some (v, g)
-    | Some (v0, g0), Some (v1, g1) ->
-        if g0 > g1 then Some (v0, g0)
-        else if g1 > g0 then Some (v1, g1)
-        else if Bipartition.area_of_side st.bp 0 >= Bipartition.area_of_side st.bp 1
-        then Some (v0, g0)
-        else Some (v1, g1)
+  let b0 = st.buckets.(0) and b1 = st.buckets.(1) in
+  let v0 = Gain_bucket.select_satisfying b0 st.feas in
+  let v1 = Gain_bucket.select_satisfying b1 st.feas in
+  let v, key =
+    if v0 < 0 then (v1, if v1 < 0 then 0 else Gain_bucket.gain_of b1 v1)
+    else if v1 < 0 then (v0, Gain_bucket.gain_of b0 v0)
+    else begin
+      let g0 = Gain_bucket.gain_of b0 v0 and g1 = Gain_bucket.gain_of b1 v1 in
+      if g0 > g1 then (v0, g0)
+      else if g1 > g0 then (v1, g1)
+      else if st.areas.(0) >= st.areas.(1) then (v0, g0)
+      else (v1, g1)
+    end
   in
-  match (choice, st.cfg.tie_break) with
-  | None, _ -> None
-  | Some (v, _), Plain -> Some v
-  | Some (v, key), Lookahead r ->
+  match st.cfg.tie_break with
+  | Plain -> v
+  | Lookahead _ when v < 0 -> v
+  | Lookahead r ->
       let limit = ref 64 in
       let best = ref v in
       let best_vec = Array.make r 0 in
       let vec = st.lookahead_vec in
       gain_vector st v r best_vec;
       let consider u =
-        if u <> !best && !limit > 0 && feasible st u then begin
+        if u <> !best && !limit > 0 && st.feas u then begin
           decr limit;
           gain_vector st u r vec;
           if compare_vectors vec best_vec r > 0 then begin
@@ -181,9 +303,17 @@ let select st =
         | Some mk when mk >= key -> Gain_bucket.iter_key st.buckets.(s) key consider
         | Some _ | None -> ()
       done;
-      Some !best
+      !best
 
-(* (Re)build gains, free-pin counts and buckets for the current free set.
+(* (Re)build gains, free-pin counts and buckets for the current free set, in
+   one net-centric sweep over the pin structure: each net contributes its
+   per-side free-pin counts and — when within the size threshold — the
+   critical-net gain terms of every free pin (pins_on = 1 on the pin's own
+   side, pins_on = 0 opposite).  Locked modules keep whatever gain value
+   they last had: the CLIP preprocessing sort below keys on the whole gain
+   array, so touching locked entries would reorder equal-key free modules
+   under the unstable sort and change results.
+
    Under CLIP, all modules enter at key [gain - gain0]; at pass start that
    is 0 for everyone and the insertion order realises the paper's
    "concatenate buckets from the largest index" preprocessing: for LIFO
@@ -191,50 +321,94 @@ let select st =
    for FIFO descending does. *)
 let fill_structures st ~fresh_pass =
   let n = H.num_modules st.h in
-  for v = 0 to n - 1 do
-    if not st.locked.(v) then
-      st.gain.(v) <- Bipartition.gain ~net_threshold:st.cfg.net_threshold st.bp v
-  done;
-  if st.cfg.clip && fresh_pass then
-    for v = 0 to n - 1 do
-      st.gain0.(v) <- st.gain.(v)
-    done;
   let m = H.num_nets st.h in
-  for e = 0 to m - 1 do
-    let count s =
-      let free = ref 0 in
-      H.iter_pins_of st.h e (fun u ->
-          if (not st.locked.(u)) && Bipartition.side st.bp u = s then incr free);
-      !free
-    in
-    st.free_on.(2 * e) <- count 0;
-    st.free_on.((2 * e) + 1) <- count 1
+  let thr = st.cfg.net_threshold in
+  let side = st.side
+  and pins_on = st.pins_on
+  and noff = st.noff
+  and pins = st.pins
+  and wts = st.wts
+  and gain = st.gain
+  and free_on = st.free_on
+  and locked = st.locked in
+  for v = 0 to n - 1 do
+    if not locked.(v) then gain.(v) <- 0
   done;
+  for e = 0 to m - 1 do
+    let base = 2 * e in
+    let off = noff.(e) in
+    let last = noff.(e + 1) - 1 in
+    let free0 = ref 0 and free1 = ref 0 in
+    if last - off < thr then begin
+      let w = wts.(e) in
+      let c0 = pins_on.(base) and c1 = pins_on.(base + 1) in
+      for i = off to last do
+        let u = pins.(i) in
+        if not locked.(u) then
+          if side.(u) = 0 then begin
+            incr free0;
+            if c0 = 1 then gain.(u) <- gain.(u) + w;
+            if c1 = 0 then gain.(u) <- gain.(u) - w
+          end
+          else begin
+            incr free1;
+            if c1 = 1 then gain.(u) <- gain.(u) + w;
+            if c0 = 0 then gain.(u) <- gain.(u) - w
+          end
+      done
+    end
+    else
+      (* oversized nets are invisible to gains but still carry free-pin
+         counts for the lookahead binding numbers *)
+      for i = off to last do
+        let u = pins.(i) in
+        if not locked.(u) then
+          if side.(u) = 0 then incr free0 else incr free1
+      done;
+    free_on.(base) <- !free0;
+    free_on.(base + 1) <- !free1
+  done;
+  if st.cfg.clip && fresh_pass then Array.blit gain 0 st.gain0 0 n;
   Gain_bucket.clear st.buckets.(0);
   Gain_bucket.clear st.buckets.(1);
-  let ids = Array.init n (fun v -> v) in
+  let ids = st.a.ids in
+  for v = 0 to n - 1 do
+    ids.(v) <- v
+  done;
   if st.cfg.clip then begin
     (* Sort by initial gain so that bucket-0 ends up ordered by descending
-       initial gain under the selection policy. *)
+       initial gain under the selection policy.  (Measured: a hand-inlined
+       heapsort replica is no faster than [Array.sort]'s closure dispatch
+       here — the sort is bound by its data-dependent loads.) *)
     let cmp =
       match st.cfg.policy with
-      | Gain_bucket.Fifo -> fun a b -> Int.compare st.gain.(b) st.gain.(a)
+      | Gain_bucket.Fifo -> fun a b -> Int.compare gain.(b) gain.(a)
       | Gain_bucket.Lifo | Gain_bucket.Random ->
-          fun a b -> Int.compare st.gain.(a) st.gain.(b)
+          fun a b -> Int.compare gain.(a) gain.(b)
     in
     Array.sort cmp ids
   end
   else Rng.shuffle_in_place st.rng ids;
-  let on_boundary v =
-    Mlpart_hypergraph.Hypergraph.fold_nets_of st.h v ~init:false
-      ~f:(fun acc e ->
-        acc
-        || (Bipartition.pins_on st.bp e 0 > 0 && Bipartition.pins_on st.bp e 1 > 0))
-  in
+  (* Boundary frontier by cut-net marking: every pin of every cut net is on
+     the frontier, found in one sweep over the cut nets' pins instead of a
+     nets-of-module scan per module. *)
+  let boundary = st.cfg.boundary in
+  if boundary then begin
+    let stamp = st.a.bnd_epoch + 1 in
+    st.a.bnd_epoch <- stamp;
+    let bnd = st.a.bnd in
+    for e = 0 to m - 1 do
+      if pins_on.(2 * e) > 0 && pins_on.((2 * e) + 1) > 0 then
+        for i = noff.(e) to noff.(e + 1) - 1 do
+          bnd.(pins.(i)) <- stamp
+        done
+    done
+  end;
+  let bnd = st.a.bnd and stamp = st.a.bnd_epoch in
   Array.iter
     (fun v ->
-      if (not st.locked.(v)) && ((not st.cfg.boundary) || on_boundary v) then
-        Gain_bucket.insert st.buckets.(Bipartition.side st.bp v) v (key_of st v))
+      if (not locked.(v)) && ((not boundary) || bnd.(v) = stamp) then
+        Gain_bucket.insert st.buckets.(side.(v)) v (key_of st v))
     ids
 
 (* Fixed modules behave as permanently locked: never inserted, never
@@ -258,10 +432,10 @@ let run_pass st =
   let backtracks = ref 0 in
   let continue = ref true in
   while !continue do
-    match select st with
-    | None -> continue := false
-    | Some v ->
-        Gain_bucket.remove st.buckets.(Bipartition.side st.bp v) v;
+    let v = select st in
+    if v < 0 then continue := false
+    else begin
+        Gain_bucket.remove st.buckets.(st.side.(v)) v;
         st.locked.(v) <- true;
         let g = st.gain.(v) in
         apply_move st v;
@@ -300,6 +474,7 @@ let run_pass st =
               fill_structures st ~fresh_pass:false
           | Some _ | None -> ()
         end
+    end
   done;
   (* Keep only the best prefix. *)
   for i = !moved - 1 downto !best_count do
@@ -307,7 +482,7 @@ let run_pass st =
   done;
   (!best, !moved)
 
-let run ?(config = default) ?init ?fixed rng h =
+let run ?(config = default) ?init ?fixed ?arena rng h =
   let bounds =
     if config.wide_balance then Bipartition.wide_bounds ~tolerance:config.tolerance h
     else Bipartition.bounds ~tolerance:config.tolerance h
@@ -331,9 +506,32 @@ let run ?(config = default) ?init ?fixed rng h =
   let m = H.num_nets h in
   let wdeg = Stdlib.max 1 (H.max_weighted_degree h) in
   let range = if config.clip then 2 * wdeg else wdeg in
-  let mk_bucket () =
-    Gain_bucket.create ~rng:(Rng.split rng) ~policy:config.policy
-      ~min_gain:(-range) ~max_gain:range ~capacity:n ()
+  let a = match arena with Some a -> a | None -> create_arena () in
+  ensure_arena a n m;
+  (* A fresh run starts from all-zero gains, exactly as the former per-run
+     [Array.make n 0] did: modules locked for the whole run (fixed) keep
+     gain 0 at every pass, which the CLIP sort observes. *)
+  Array.fill a.gain 0 n 0;
+  (* Two generator splits per run, bucket 1's first: the order the original
+     [| mk_bucket (); mk_bucket () |] literal evaluated them (right to
+     left), so seeded Random-policy streams are unchanged. *)
+  let rng_b1 = Rng.split rng in
+  let rng_b0 = Rng.split rng in
+  Gain_bucket.reinit ~rng:rng_b0 ~policy:config.policy ~min_gain:(-range)
+    ~max_gain:range ~capacity:n a.buckets.(0);
+  Gain_bucket.reinit ~rng:rng_b1 ~policy:config.policy ~min_gain:(-range)
+    ~max_gain:range ~capacity:n a.buckets.(1);
+  let side_store = Bipartition.side_store bp in
+  let areas_store = Bipartition.areas_store bp in
+  let mareas = H.areas_store h in
+  (* Same predicate as [Bipartition.move_is_feasible], on raw views: it runs
+     once per candidate the selection scan touches. *)
+  let feas v =
+    let a = mareas.(v) in
+    let area0 =
+      if side_store.(v) = 0 then areas_store.(0) - a else areas_store.(0) + a
+    in
+    area0 >= bounds.Bipartition.lo && area0 <= bounds.Bipartition.hi
   in
   let st =
     {
@@ -343,17 +541,27 @@ let run ?(config = default) ?init ?fixed rng h =
       bounds;
       fixed;
       rng;
-      gain = Array.make n 0;
-      gain0 = Array.make n 0;
-      locked = Array.make n false;
-      frozen = Array.make n false;
-      free_on = Array.make (2 * m) 0;
-      buckets = [| mk_bucket (); mk_bucket () |];
-      order = Array.make n 0;
+      a;
+      gain = a.gain;
+      gain0 = a.gain0;
+      locked = a.locked;
+      frozen = a.frozen;
+      free_on = a.free_on;
+      buckets = a.buckets;
+      order = a.order;
       lookahead_vec =
         (match config.tie_break with
         | Plain -> [| 0 |]
         | Lookahead r -> Array.make (Stdlib.max 1 r) 0);
+      side = side_store;
+      pins_on = Bipartition.pins_on_store bp;
+      noff = H.net_offsets_store h;
+      pins = H.net_pins_store h;
+      moff = H.mod_offsets_store h;
+      mnets = H.mod_nets_store h;
+      wts = H.net_weights_store h;
+      areas = areas_store;
+      feas;
     }
   in
   let passes = ref 0 in
@@ -367,7 +575,9 @@ let run ?(config = default) ?init ?fixed rng h =
   done;
   {
     side = Bipartition.side_array st.bp;
-    cut = Bipartition.cut st.bp;
+    (* Passes maintain pin counts but stage side flips without touching the
+       bipartition's incremental cut; one CSR sweep restores it exactly. *)
+    cut = Bipartition.recompute_cut st.bp;
     passes = !passes;
     moves = !moves;
   }

@@ -63,10 +63,25 @@ type result = {
   moves : int;  (** total moves performed, including rolled-back ones *)
 }
 
+type arena
+(** Reusable engine scratch: every per-run array (gains, locks, free-pin
+    counts, move stack, insertion-order scratch, boundary-frontier marks)
+    plus the two gain buckets.  The arena grows on demand and never needs
+    resetting, so one arena threaded through a multilevel refinement sweep
+    — or any other loop of {!run} calls — allocates engine state once at
+    the largest netlist's size instead of once per call.  Runs that share
+    an arena are bit-identical to runs that each create their own.  Not
+    safe to share between domains. *)
+
+val create_arena : ?h:Mlpart_hypergraph.Hypergraph.t -> unit -> arena
+(** Fresh arena; [h] pre-sizes it for that netlist (pass the finest level
+    of a hierarchy to avoid all growth reallocations). *)
+
 val run :
   ?config:config ->
   ?init:int array ->
   ?fixed:int array ->
+  ?arena:arena ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
   result
@@ -75,7 +90,10 @@ val run :
     it first if it violates the balance bounds — the paper's treatment of
     projected solutions).  [fixed.(v) >= 0] pins module [v] to that side
     for the whole run (terminals and pads in placement-driven flows);
-    fixed modules are never moved, including during rebalancing. *)
+    fixed modules are never moved, including during rebalancing.
+
+    [arena] supplies reusable scratch (see {!arena}); without it the run
+    creates its own, so callers outside refinement loops are unaffected. *)
 
 val cut_of : Mlpart_hypergraph.Hypergraph.t -> int array -> int
 (** True weighted cut of an arbitrary side assignment (convenience). *)

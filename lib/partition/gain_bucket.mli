@@ -10,7 +10,12 @@
     - [Random]: uniform over the bucket (costs a scan of that bucket).
 
     This is the data structure whose LIFO/FIFO/Random comparison the paper
-    reproduces in Table II. *)
+    reproduces in Table II.
+
+    Clearing is epoch-stamped: {!clear} bumps a generation counter and every
+    accessor lazily treats stale buckets as empty, so the per-pass reset of
+    an FM run is O(1) instead of O(capacity + gain-range).  Per-bucket
+    length counters make [Random] selection a single list walk. *)
 
 type policy = Lifo | Fifo | Random
 
@@ -26,8 +31,19 @@ val create :
     [0 .. capacity-1] and gains in [[min_gain, max_gain]].  [rng] is required
     only for the [Random] policy (defaults to a fixed-seed generator). *)
 
+val reinit :
+  ?rng:Mlpart_util.Rng.t -> policy:policy -> min_gain:int -> max_gain:int ->
+  capacity:int -> t -> unit
+(** Reconfigure the structure in place for a new run: adopts the given
+    policy, gain range and (for [Random]) generator, grows the backing
+    arrays if the new capacity or range exceeds what was ever allocated,
+    and clears.  Reusing one structure across the runs of a multilevel
+    refinement sweep avoids re-allocating the bucket arena at every level;
+    a reinitialised structure behaves exactly like a fresh {!create}. *)
+
 val clear : t -> unit
-(** Empty the structure (O(capacity)). *)
+(** Empty the structure (O(1): epoch bump; stale state is invalidated lazily
+    on access). *)
 
 val size : t -> int
 (** Number of modules currently stored. *)
@@ -60,6 +76,11 @@ val select_max_satisfying : t -> (int -> bool) -> (int * int) option
     predicate: buckets are scanned downwards and, within a bucket, in policy
     order.  Used for balance-feasible selection; cost is proportional to the
     number of rejected candidates. *)
+
+val select_satisfying : t -> (int -> bool) -> int
+(** Allocation-free {!select_max_satisfying}: the chosen module id, or -1
+    when no stored module satisfies the predicate.  The winner's key is
+    available via {!gain_of}. *)
 
 val pop_max : t -> (int * int) option
 (** {!select_max} followed by removal. *)

@@ -37,9 +37,10 @@ let mutate rng mutation side =
 let run ?(config = default) ?init rng h =
   if config.population < 2 then invalid_arg "Genetic.run: population < 2";
   let evaluations = ref 0 in
+  let arena = Fm.create_arena ~h () in
   let descend init =
     incr evaluations;
-    let r = Fm.run ~config:config.engine ?init rng h in
+    let r = Fm.run ~config:config.engine ?init ~arena rng h in
     (r.Fm.side, r.Fm.cut)
   in
   let population =

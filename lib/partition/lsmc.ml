@@ -37,7 +37,8 @@ let kick rng h side fraction =
   kicked
 
 let run ?(config = default) ?init rng h =
-  let descend init = Fm.run ~config:config.engine ?init rng h in
+  let arena = Fm.create_arena ~h () in
+  let descend init = Fm.run ~config:config.engine ?init ~arena rng h in
   let first = descend init in
   let best_side = ref first.Fm.side in
   let best_cut = ref first.Fm.cut in

@@ -33,6 +33,38 @@ type result = {
 
 let cut_of h ~k side = Kpartition.cut (Kpartition.create h ~k side)
 
+(* Reusable engine scratch, mirroring [Fm.arena]: per-run arrays and the
+   k*k direction buckets, grown on demand and reconfigured per run.  A
+   multilevel k-way driver threads one arena through every level.  Not safe
+   to share between domains. *)
+type arena = {
+  mutable gains : int array;
+  mutable locked : bool array;
+  mutable order : int array;
+  mutable order_from : int array;
+  mutable buckets : Gain_bucket.t array;
+}
+
+let create_arena () =
+  { gains = [||]; locked = [||]; order = [||]; order_from = [||]; buckets = [||] }
+
+let ensure_arena a n k =
+  if Array.length a.gains < n * k then a.gains <- Array.make (n * k) 0;
+  if Array.length a.locked < n then begin
+    a.locked <- Array.make n false;
+    a.order <- Array.make n 0;
+    a.order_from <- Array.make n 0
+  end;
+  if Array.length a.buckets < k * k then begin
+    let old = a.buckets in
+    a.buckets <-
+      Array.init (k * k) (fun i ->
+          if i < Array.length old then old.(i)
+          else
+            Gain_bucket.create ~policy:Gain_bucket.Lifo ~min_gain:0 ~max_gain:0
+              ~capacity:0 ())
+  end
+
 type state = {
   cfg : config;
   h : H.t;
@@ -191,7 +223,7 @@ let run_pass st =
   done;
   (!best, !moved)
 
-let run ?(config = default) ?init ?fixed rng h ~k =
+let run ?(config = default) ?init ?fixed ?arena rng h ~k =
   if k < 2 then invalid_arg "Multiway.run: k < 2";
   let bounds = Kpartition.bounds ~tolerance:config.tolerance h ~k in
   let kp =
@@ -209,11 +241,14 @@ let run ?(config = default) ?init ?fixed rng h ~k =
     | Net_cut | Sum_degrees -> wdeg
     | Custom _ -> k * wdeg
   in
-  let buckets =
-    Array.init (k * k) (fun _ ->
-        Gain_bucket.create ~rng:(Rng.split rng) ~policy:config.policy
-          ~min_gain:(-range) ~max_gain:range ~capacity:n ())
-  in
+  let a = match arena with Some a -> a | None -> create_arena () in
+  ensure_arena a n k;
+  (* One split per direction bucket in ascending (p * k + q) order, exactly
+     as the former [Array.init] evaluated them. *)
+  for i = 0 to (k * k) - 1 do
+    Gain_bucket.reinit ~rng:(Rng.split rng) ~policy:config.policy
+      ~min_gain:(-range) ~max_gain:range ~capacity:n a.buckets.(i)
+  done;
   let st =
     {
       cfg = config;
@@ -222,11 +257,11 @@ let run ?(config = default) ?init ?fixed rng h ~k =
       kk = k;
       bounds;
       fixed;
-      gains = Array.make (n * k) 0;
-      locked = Array.make n false;
-      buckets;
-      order = Array.make n 0;
-      order_from = Array.make n 0;
+      gains = a.gains;
+      locked = a.locked;
+      buckets = a.buckets;
+      order = a.order;
+      order_from = a.order_from;
     }
   in
   let passes = ref 0 in

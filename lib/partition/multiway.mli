@@ -36,17 +36,28 @@ type result = {
   moves : int;
 }
 
+type arena
+(** Reusable engine scratch (per-run arrays and the k*k direction buckets),
+    mirroring {!Fm.arena}: grown on demand, reconfigured per run, threaded
+    through multilevel k-way refinement so state is allocated once at the
+    finest level's size.  Runs sharing an arena are bit-identical to fresh
+    runs.  Not safe to share between domains. *)
+
+val create_arena : unit -> arena
+
 val run :
   ?config:config ->
   ?init:int array ->
   ?fixed:int array ->
+  ?arena:arena ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
   k:int ->
   result
 (** [run rng h ~k] partitions into [k] parts.  [init] refines a given
     assignment (rebalanced first when needed); [fixed.(v) >= 0] pins module
-    [v] to a part. *)
+    [v] to a part.  [arena] supplies reusable scratch; without it the run
+    creates its own. *)
 
 val cut_of : Mlpart_hypergraph.Hypergraph.t -> k:int -> int array -> int
 (** Weighted multi-way cut of an assignment. *)

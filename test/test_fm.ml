@@ -236,6 +236,150 @@ let test_fm_fixed_with_clip_and_backtrack () =
     check Alcotest.int "pinned through CDIP rebuilds" (v land 1) r.Fm.side.(v)
   done
 
+(* ---- Engine-overhaul regression: CDIP + boundary behaviour ---- *)
+
+let hash_side side =
+  Array.fold_left (fun acc s -> (acc * 1000003) + s) 5381 side land 0x3FFFFFFF
+
+(* Exact (cut, passes, moves, side-hash) recorded from the engine BEFORE the
+   epoch-bucket/arena/fused-move overhaul, on the same generated instances;
+   the overhaul is required to be bit-identical, so these must never drift. *)
+let test_engine_golden () =
+  let cases =
+    [
+      ("cdip", { Fm.clip with backtrack = Some (8, 3) }, 60, 1, (9, 4, 227, 46779324));
+      ("cdip", { Fm.clip with backtrack = Some (8, 3) }, 120, 1, (16, 4, 468, 99476278));
+      ("boundary", { Fm.default with boundary = true }, 60, 1, (9, 2, 115, 166745785));
+      ("boundary", { Fm.default with boundary = true }, 120, 2, (20, 4, 472, 789123538));
+      ("boundary-clip", { Fm.clip with boundary = true }, 60, 1, (3, 3, 168, 289235633));
+      ( "boundary-cdip",
+        { Fm.clip with boundary = true; backtrack = Some (6, 2) },
+        120, 2, (20, 5, 577, 885012033) );
+    ]
+  in
+  List.iter
+    (fun (name, config, modules, seed, (cut, passes, moves, h_side)) ->
+      let h = random_instance ~modules seed in
+      let r = Fm.run ~config (Rng.create (seed + 100)) h in
+      let label = Printf.sprintf "%s n%d s%d" name modules seed in
+      check Alcotest.int (label ^ " cut") cut r.Fm.cut;
+      check Alcotest.int (label ^ " passes") passes r.Fm.passes;
+      check Alcotest.int (label ^ " moves") moves r.Fm.moves;
+      check Alcotest.int (label ^ " side hash") h_side (hash_side r.Fm.side))
+    cases
+
+(* Each pass keeps only its best prefix, so with a fixed seed the cut after
+   [p] passes is non-increasing in [p] — for CDIP and boundary mode too,
+   whose backtracks and partial frontiers must not break the invariant. *)
+let test_pass_cut_monotone () =
+  List.iter
+    (fun (name, config) ->
+      let h = random_instance ~modules:100 31 in
+      let prev = ref max_int in
+      for p = 1 to 5 do
+        let r = run ~config:{ config with Fm.max_passes = p } 32 h in
+        check Alcotest.bool
+          (Printf.sprintf "%s: cut non-increasing at pass %d" name p)
+          true (r.Fm.cut <= !prev);
+        prev := r.Fm.cut
+      done)
+    [
+      ("cdip", { Fm.clip with backtrack = Some (8, 3) });
+      ("boundary", { Fm.default with boundary = true });
+      ("boundary-cdip", { Fm.clip with boundary = true; backtrack = Some (6, 2) });
+    ]
+
+(* A backtrack budget of zero must behave exactly like no backtracking: the
+   limit check gates every rollback. *)
+let test_cdip_zero_limit_is_plain () =
+  let h = random_instance ~modules:90 33 in
+  let a = run ~config:{ Fm.clip with backtrack = Some (8, 0) } 34 h in
+  let b = run ~config:Fm.clip 34 h in
+  check Alcotest.int "same cut" b.Fm.cut a.Fm.cut;
+  check Alcotest.(array int) "same sides" b.Fm.side a.Fm.side;
+  check Alcotest.int "same moves" b.Fm.moves a.Fm.moves
+
+(* Permanently-frozen (fixed) modules must stay out of the move sequence
+   through boundary frontiers and CDIP backtrack rebuilds alike. *)
+let test_boundary_fixed_stay_out () =
+  let h = random_instance ~modules:80 35 in
+  let n = H.num_modules h in
+  let fixed = Array.make n (-1) in
+  for v = 0 to 7 do
+    fixed.(v) <- v land 1
+  done;
+  List.iter
+    (fun (name, config) ->
+      let r = Fm.run ~config ~fixed (Rng.create 36) h in
+      for v = 0 to 7 do
+        check Alcotest.int
+          (Printf.sprintf "%s: module %d stays pinned" name v)
+          (v land 1) r.Fm.side.(v)
+      done;
+      check Alcotest.int (name ^ ": consistent") (Fm.cut_of h r.Fm.side) r.Fm.cut)
+    [
+      ("boundary", { Fm.default with boundary = true });
+      ("boundary-cdip", { Fm.clip with boundary = true; backtrack = Some (6, 2) });
+    ]
+
+(* ---- Arena reuse ---- *)
+
+(* Reusing one arena across runs — including across netlists of different
+   sizes, forcing [ensure_arena] growth and shrink of [ids] — must be
+   bit-identical to fresh engine state, for every engine feature that
+   touches the arena (buckets, gain0, frontier marks, move stack). *)
+let prop_arena_reuse_bit_identical =
+  let configs =
+    [
+      Fm.default;
+      Fm.clip;
+      { Fm.default with policy = Gb.Fifo };
+      { Fm.default with policy = Gb.Random };
+      { Fm.clip with policy = Gb.Fifo };
+      { Fm.clip with policy = Gb.Random };
+      { Fm.clip with tie_break = Fm.Lookahead 3 };
+      { Fm.clip with backtrack = Some (8, 3) };
+      { Fm.default with boundary = true };
+      { Fm.clip with boundary = true; backtrack = Some (6, 2) };
+    ]
+  in
+  QCheck.Test.make ~name:"arena reuse is bit-identical to fresh state"
+    ~count:25
+    QCheck.(pair small_int (int_range 0 9))
+    (fun (seed, which) ->
+      let config = List.nth configs which in
+      let h_small = random_instance ~modules:50 seed in
+      let h_large = random_instance ~modules:110 (seed + 1) in
+      let arena = Fm.create_arena () in
+      (* grow, shrink, regrow across three runs on two netlists *)
+      let a1 = Fm.run ~config ~arena (Rng.create (seed + 10)) h_large in
+      let a2 = Fm.run ~config ~arena (Rng.create (seed + 11)) h_small in
+      let a3 = Fm.run ~config ~arena (Rng.create (seed + 10)) h_large in
+      let f1 = Fm.run ~config (Rng.create (seed + 10)) h_large in
+      let f2 = Fm.run ~config (Rng.create (seed + 11)) h_small in
+      let same a f =
+        a.Fm.cut = f.Fm.cut && a.Fm.passes = f.Fm.passes
+        && a.Fm.moves = f.Fm.moves && a.Fm.side = f.Fm.side
+      in
+      same a1 f1 && same a2 f2 && same a3 f1)
+
+(* The multilevel multi-start driver gives each pool domain its own arena;
+   results must not depend on the worker count. *)
+let test_arena_pool_jobs_identical () =
+  let module Ml = Mlpart_multilevel.Ml in
+  let module Pool = Mlpart_util.Pool in
+  let h = random_instance ~modules:200 37 in
+  let config = { Ml.mlc with Ml.coarsest_starts = 2 } in
+  let seq = Ml.run_starts ~config ~starts:4 (Rng.create 38) h in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let r = Ml.run_starts ~config ~pool ~starts:4 (Rng.create 38) h in
+      check Alcotest.int "jobs 1: same cut" seq.Ml.cut r.Ml.cut;
+      check Alcotest.(array int) "jobs 1: same sides" seq.Ml.side r.Ml.side);
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let r = Ml.run_starts ~config ~pool ~starts:4 (Rng.create 38) h in
+      check Alcotest.int "jobs 4: same cut" seq.Ml.cut r.Ml.cut;
+      check Alcotest.(array int) "jobs 4: same sides" seq.Ml.side r.Ml.side)
+
 (* ---- Objective ---- *)
 
 module Obj = Mlpart_partition.Objective
@@ -490,6 +634,19 @@ let () =
           Alcotest.test_case "boundary refines" `Quick
             test_boundary_refines_good_init;
           Alcotest.test_case "wide balance" `Quick test_wide_balance_valid;
+        ] );
+      ( "engine-regression",
+        [
+          Alcotest.test_case "pre-overhaul golden values" `Quick
+            test_engine_golden;
+          Alcotest.test_case "pass cut monotone" `Quick test_pass_cut_monotone;
+          Alcotest.test_case "zero backtrack limit = plain" `Quick
+            test_cdip_zero_limit_is_plain;
+          Alcotest.test_case "fixed stay out of frontier" `Quick
+            test_boundary_fixed_stay_out;
+          qtest prop_arena_reuse_bit_identical;
+          Alcotest.test_case "pool jobs identical" `Quick
+            test_arena_pool_jobs_identical;
         ] );
       ( "objective",
         [
