@@ -6,40 +6,92 @@
      place        top-down global placement by recursive quadrisection
      generate     emit a synthetic benchmark in .hgr format
      evaluate     score a saved part assignment against a netlist
-     info         print hypergraph statistics *)
+     info         print hypergraph statistics
+
+   Every subcommand runs inside an error boundary: library failures
+   surface as one structured diagnostic line per issue on stderr and a
+   documented exit code — 2 usage, 3 parse/I-O error, 4 invariant
+   violation, 5 timeout — never an OCaml backtrace. *)
 
 module H = Mlpart_hypergraph.Hypergraph
 module Hgr_io = Mlpart_hypergraph.Hgr_io
+module Netd_io = Mlpart_hypergraph.Netd_io
 module Rng = Mlpart_util.Rng
 module Pool = Mlpart_util.Pool
+module Diag = Mlpart_util.Diag
+module Deadline = Mlpart_util.Deadline
 module Fm = Mlpart_partition.Fm
 module Ml = Mlpart_multilevel.Ml
 open Cmdliner
 
+let print_diag d = Printf.eprintf "%s\n" (Diag.to_string d)
+
+(* The error boundary wrapped around every subcommand body.  [Cmd.eval]
+   only sees exit 0; failures leave through [exit] after printing
+   structured diagnostics. *)
+let boundary f =
+  try f () with
+  | Diag.Mlpart_error diags ->
+      List.iter print_diag diags;
+      exit (Diag.exit_code diags)
+  | Sys_error msg ->
+      print_diag (Diag.error ~source:"" Diag.Io_error "%s" msg);
+      exit 3
+  | Invalid_argument msg ->
+      print_diag (Diag.error ~source:"" Diag.Invariant "%s" msg);
+      exit 4
+
+let usage_fail fmt =
+  Printf.ksprintf
+    (fun message ->
+      print_diag (Diag.error ~source:"" Diag.Usage "%s" message);
+      exit 2)
+    fmt
+
+(* Timeout exit path: the caller has already printed/saved a valid
+   best-so-far result; flag it and exit 5. *)
+let finish_timed_out deadline what =
+  match deadline with
+  | Some dl when Deadline.expired dl ->
+      print_diag (Diag.warning ~source:"" Diag.Timeout "%s" what);
+      exit 5
+  | Some _ | None -> ()
+
 (* Input is either a .hgr path or "bench:<circuit>" for a generated Table I
-   stand-in. *)
-let load_hypergraph input seed =
+   stand-in.  Lenient parses print their warnings to stderr as they are
+   found; strict parses fail through the boundary. *)
+let load_hypergraph ?(lenient = false) input seed =
+  let mode = if lenient then Hgr_io.Lenient else Hgr_io.Strict in
+  let of_result = function
+    | Ok { Hgr_io.hypergraph; warnings } ->
+        List.iter print_diag warnings;
+        hypergraph
+    | Error diags -> raise (Diag.Mlpart_error diags)
+  in
   match String.index_opt input ':' with
   | Some i when String.sub input 0 i = "bench" ->
       let name = String.sub input (i + 1) (String.length input - i - 1) in
       (match Mlpart_gen.Suite.find name with
       | spec -> Mlpart_gen.Suite.instantiate ~seed spec
       | exception Not_found ->
-          Printf.eprintf "unknown benchmark %S; known: %s\n" name
+          usage_fail "unknown benchmark %S; known: %s" name
             (String.concat ", "
                (List.map
                   (fun s -> s.Mlpart_gen.Suite.circuit)
-                  Mlpart_gen.Suite.all));
-          exit 2)
+                  Mlpart_gen.Suite.all)))
   | Some _ | None ->
       if Filename.check_suffix input ".net" || Filename.check_suffix input ".netD"
       then begin
         (* pick up a sibling .are file when present *)
         let are = Filename.remove_extension input ^ ".are" in
         let are_path = if Sys.file_exists are then Some are else None in
-        Mlpart_hypergraph.Netd_io.read_files ?are_path input
+        match Netd_io.parse_files ?are_path ~mode input with
+        | Ok { Netd_io.hypergraph; warnings } ->
+            List.iter print_diag warnings;
+            hypergraph
+        | Error diags -> raise (Diag.Mlpart_error diags)
       end
-      else Hgr_io.read_file input
+      else of_result (Hgr_io.parse_file ~mode input)
 
 let input_arg =
   let doc = "Input netlist: a .hgr file, an ACM/SIGDA .net/.netD file (a \
@@ -60,21 +112,70 @@ let jobs_arg =
                  run draws from its own generator pre-split from --seed, so \
                  the reported cut is identical for any job count.")
 
+let lenient_arg =
+  Arg.(value & flag
+       & info [ "lenient" ]
+           ~doc:"Recover from degenerate input (duplicate or out-of-range \
+                 pins, single-pin nets, short weight sections, truncation) \
+                 instead of failing: each repair is reported as a \
+                 warning[...] line on stderr and the repaired netlist is \
+                 used.")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"SEC"
+           ~doc:"Cooperative wall-clock budget.  Checked between \
+                 independent runs (and inside placement, between regions); \
+                 on expiry the best result found so far is still printed \
+                 and saved, flagged with a warning[timeout] line, and the \
+                 exit code is 5.")
+
+let deadline_of = Option.map (fun seconds -> Deadline.make ~seconds)
+
 (* Run [one] over [runs] pre-split generator streams — across a domain pool
    when [jobs > 1] — and keep the best result by [cut_of], ties to the
-   lowest run index. *)
-let best_over_runs ~runs ~jobs rng one cut_of =
+   lowest run index.  A deadline is polled between sequential runs or
+   between pool waves; the completed prefix is a deterministic prefix of
+   the untimed schedule, and at least one run always completes. *)
+let best_over_runs ?deadline ~runs ~jobs rng one cut_of =
   let runs = Stdlib.max 1 runs in
   let rngs = Array.init runs (fun _ -> Rng.split rng) in
   let results =
-    if jobs <= 1 || runs = 1 then Array.map one rngs
-    else Pool.with_pool ~jobs:(Stdlib.min jobs runs) (fun pool -> Pool.map pool one rngs)
+    match deadline with
+    | None ->
+        if jobs <= 1 || runs = 1 then Array.map one rngs
+        else
+          Pool.with_pool ~jobs:(Stdlib.min jobs runs) (fun pool ->
+              Pool.map pool one rngs)
+    | Some dl ->
+        let wave = if runs = 1 then 1 else Stdlib.max 1 (Stdlib.min jobs runs) in
+        let with_pool f =
+          if wave = 1 then f None
+          else Pool.with_pool ~jobs:wave (fun pool -> f (Some pool))
+        in
+        with_pool (fun pool ->
+            let acc = ref [] in
+            let completed = ref 0 in
+            while
+              !completed < runs && (!completed = 0 || not (Deadline.check dl))
+            do
+              let n = Stdlib.min wave (runs - !completed) in
+              let batch = Array.sub rngs !completed n in
+              let res =
+                match pool with
+                | Some pool when n > 1 -> Pool.map pool one batch
+                | _ -> Array.map one batch
+              in
+              acc := res :: !acc;
+              completed := !completed + n
+            done;
+            Array.concat (List.rev !acc))
   in
   let best = ref results.(0) in
-  for i = 1 to runs - 1 do
+  for i = 1 to Array.length results - 1 do
     if cut_of results.(i) < cut_of !best then best := results.(i)
   done;
-  !best
+  (!best, Array.length results)
 
 let ratio_arg =
   Arg.(value & opt float 0.5
@@ -127,9 +228,12 @@ let write_assignment out side =
           Array.iter (fun s -> Printf.fprintf oc "%d\n" s) side)
 
 let bipartition_cmd =
-  let run input seed runs jobs ratio threshold tolerance engine out =
-    let h = load_hypergraph input seed in
+  let run input seed runs jobs ratio threshold tolerance engine out lenient
+      timeout =
+    boundary @@ fun () ->
+    let h = load_hypergraph ~lenient input seed in
     let rng = Rng.create seed in
+    let deadline = deadline_of timeout in
     let fm_config base = { base with Fm.tolerance } in
     let one rng =
       match engine with
@@ -157,7 +261,7 @@ let bipartition_cmd =
           let r = Ml.run ~config rng h in
           (r.Ml.side, r.Ml.cut)
     in
-    let side, cut = best_over_runs ~runs ~jobs rng one snd in
+    let (side, cut), completed = best_over_runs ?deadline ~runs ~jobs rng one snd in
     let areas = [| 0; 0 |] in
     Array.iteri (fun v s -> areas.(s) <- areas.(s) + H.area h v) side;
     Printf.printf "%s: cut %d  |X|=%d |Y|=%d (areas %d/%d)\n"
@@ -165,18 +269,24 @@ let bipartition_cmd =
       (Array.fold_left (fun acc s -> acc + (1 - s)) 0 side)
       (Array.fold_left ( + ) 0 side)
       areas.(0) areas.(1);
-    write_assignment out side
+    write_assignment out side;
+    finish_timed_out deadline
+      (Printf.sprintf "timed out after %d of %d run(s); best-so-far reported"
+         completed (Stdlib.max 1 runs))
   in
   let term =
     Term.(const run $ input_arg $ seed_arg $ runs_arg $ jobs_arg $ ratio_arg
-          $ threshold_arg $ tolerance_arg $ engine_arg $ out_arg)
+          $ threshold_arg $ tolerance_arg $ engine_arg $ out_arg $ lenient_arg
+          $ timeout_arg)
   in
   Cmd.v (Cmd.info "bipartition" ~doc:"Min-cut 2-way partitioning (ML algorithm).") term
 
 let quadrisect_cmd =
-  let run input seed runs jobs ratio tolerance gordian out =
-    let h = load_hypergraph input seed in
+  let run input seed runs jobs ratio tolerance gordian out lenient timeout =
+    boundary @@ fun () ->
+    let h = load_hypergraph ~lenient input seed in
     let rng = Rng.create seed in
+    let deadline = deadline_of timeout in
     if gordian then begin
       let r = Mlpart_placement.Gordian.run h in
       Printf.printf "%s: GORDIAN 4-way cut %d, hpwl %.3f\n" (H.name h)
@@ -194,9 +304,14 @@ let quadrisect_cmd =
         let r = MLW.run ~config rng h ~k:4 in
         (r.MLW.side, r.MLW.cut)
       in
-      let side, cut = best_over_runs ~runs ~jobs rng one snd in
+      let (side, cut), completed =
+        best_over_runs ?deadline ~runs ~jobs rng one snd
+      in
       Printf.printf "%s: ML 4-way cut %d\n" (H.name h) cut;
-      write_assignment out side
+      write_assignment out side;
+      finish_timed_out deadline
+        (Printf.sprintf "timed out after %d of %d run(s); best-so-far reported"
+           completed (Stdlib.max 1 runs))
     end
   in
   let gordian_arg =
@@ -207,19 +322,21 @@ let quadrisect_cmd =
   in
   let term =
     Term.(const run $ input_arg $ seed_arg $ runs_arg $ jobs_arg $ ratio_arg
-          $ tolerance_arg $ gordian_arg $ out_arg)
+          $ tolerance_arg $ gordian_arg $ out_arg $ lenient_arg $ timeout_arg)
   in
   Cmd.v (Cmd.info "quadrisect" ~doc:"4-way partitioning.") term
 
 let place_cmd =
-  let run input seed leaf terminal out svg =
-    let h = load_hypergraph input seed in
+  let run input seed leaf terminal out svg lenient timeout =
+    boundary @@ fun () ->
+    let h = load_hypergraph ~lenient input seed in
     let module T = Mlpart_placement.Topdown in
+    let deadline = deadline_of timeout in
     let terminal_model =
       if terminal then T.Propagate_to_quadrant else T.Ignore_external
     in
     let config = { T.default with T.leaf_size = leaf; terminal_model } in
-    let r = T.run ~config (Rng.create seed) h in
+    let r = T.run ~config ?deadline (Rng.create seed) h in
     Printf.printf "%s: top-down placement hpwl %.3f (%d quadrisection calls)\n"
       (H.name h) r.T.hpwl r.T.regions;
     (match out with
@@ -229,12 +346,17 @@ let place_cmd =
             Array.iteri
               (fun v x -> Printf.fprintf oc "%d %.6f %.6f\n" v x r.T.y.(v))
               r.T.x));
-    match svg with
+    (match svg with
     | None -> ()
     | Some path ->
         let quad = Mlpart_placement.Gordian.quadrants_of_placement h ~x:r.T.x ~y:r.T.y in
         Mlpart_placement.Svg.write ~side:quad path h ~x:r.T.x ~y:r.T.y;
-        Printf.printf "wrote %s\n" path
+        Printf.printf "wrote %s\n" path);
+    finish_timed_out deadline
+      (Printf.sprintf
+         "timed out after %d quadrisection call(s); remaining regions \
+          leaf-spread"
+         r.T.regions)
   in
   let leaf_arg =
     Arg.(value & opt int 12
@@ -251,7 +373,7 @@ let place_cmd =
   in
   let term =
     Term.(const run $ input_arg $ seed_arg $ leaf_arg $ terminal_arg $ out_arg
-          $ svg_arg)
+          $ svg_arg $ lenient_arg $ timeout_arg)
   in
   Cmd.v
     (Cmd.info "place"
@@ -260,12 +382,11 @@ let place_cmd =
 
 let generate_cmd =
   let run circuit seed out =
+    boundary @@ fun () ->
     let spec =
       match Mlpart_gen.Suite.find circuit with
       | spec -> spec
-      | exception Not_found ->
-          Printf.eprintf "unknown benchmark %S\n" circuit;
-          exit 2
+      | exception Not_found -> usage_fail "unknown benchmark %S" circuit
     in
     let h = Mlpart_gen.Suite.instantiate ~seed spec in
     match out with
@@ -283,9 +404,26 @@ let generate_cmd =
     term
 
 let evaluate_cmd =
-  let run input seed parts_path =
-    let h = load_hypergraph input seed in
+  let run input seed parts_path lenient =
+    boundary @@ fun () ->
+    let h = load_hypergraph ~lenient input seed in
     let side = Mlpart_partition.Objective.read_assignment parts_path in
+    (* malformed assignments are parse errors of the part file, with the
+       offending line where one exists *)
+    if Array.length side <> H.num_modules h then
+      raise
+        (Diag.Mlpart_error
+           [ Diag.error ~source:parts_path Diag.Bad_part
+               "assignment has %d entries, netlist has %d modules"
+               (Array.length side) (H.num_modules h) ]);
+    Array.iteri
+      (fun v p ->
+        if p < 0 then
+          raise
+            (Diag.Mlpart_error
+               [ Diag.error ~line:(v + 1) ~source:parts_path Diag.Bad_part
+                   "part id %d of module %d is negative" p v ]))
+      side;
     let report = Mlpart_partition.Objective.evaluate h side in
     Format.printf "%a@?" Mlpart_partition.Objective.pp report
   in
@@ -293,19 +431,45 @@ let evaluate_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"PARTS" ~doc:"Assignment file: one part id per line.")
   in
-  let term = Term.(const run $ input_arg $ seed_arg $ parts_arg) in
+  let term =
+    Term.(const run $ input_arg $ seed_arg $ parts_arg $ lenient_arg)
+  in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Score a saved part assignment (cut, SOED, areas).")
     term
 
 let info_cmd =
-  let run input seed =
-    let h = load_hypergraph input seed in
+  let run input seed lenient check =
+    boundary @@ fun () ->
+    let h = load_hypergraph ~lenient input seed in
     Format.printf "%a@?" Mlpart_hypergraph.Analysis.pp_report h;
     Printf.printf "total area      %d\n" (H.total_area h);
-    Printf.printf "max module area %d\n" (H.max_area h)
+    Printf.printf "max module area %d\n" (H.max_area h);
+    if check then begin
+      let _, report = H.repair h in
+      Printf.printf "repair: %d net(s) dropped, %d pin(s) deduped, %d \
+                     area(s) clamped, %d weight(s) clamped\n"
+        report.H.dropped_nets report.H.deduped_pins report.H.clamped_areas
+        report.H.clamped_weights;
+      match H.validate h with
+      | Ok () -> Printf.printf "validate: ok\n"
+      | Error diags ->
+          List.iter print_diag diags;
+          raise
+            (Diag.Mlpart_error
+               [ Diag.error ~source:(H.name h) Diag.Invariant
+                   "%d invariant violation(s)" (List.length diags) ])
+    end
   in
-  let term = Term.(const run $ input_arg $ seed_arg) in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate hypergraph invariants and print what a repair \
+                   pass would change; exit 4 if any invariant is violated.")
+  in
+  let term =
+    Term.(const run $ input_arg $ seed_arg $ lenient_arg $ check_arg)
+  in
   Cmd.v (Cmd.info "info" ~doc:"Print hypergraph statistics.") term
 
 let setup_logging () =
@@ -318,8 +482,20 @@ let setup_logging () =
 let () =
   setup_logging ();
   let doc = "multilevel circuit partitioning (Alpert-Huang-Kahng, DAC 1997)" in
-  let main = Cmd.group (Cmd.info "mlpart" ~doc)
+  let exits =
+    Cmd.Exit.info 0 ~doc:"on success." ::
+    Cmd.Exit.info 2 ~doc:"on command-line usage errors." ::
+    Cmd.Exit.info 3 ~doc:"on input parse or I/O errors." ::
+    Cmd.Exit.info 4 ~doc:"on hypergraph invariant violations." ::
+    Cmd.Exit.info 5 ~doc:"when --timeout expired (best-so-far result was \
+                          still written)." :: []
+  in
+  let main = Cmd.group (Cmd.info "mlpart" ~doc ~exits)
       [ bipartition_cmd; quadrisect_cmd; place_cmd; generate_cmd;
         evaluate_cmd; info_cmd ]
   in
-  exit (Cmd.eval main)
+  (* cmdliner reports its own usage errors as 124; fold them into the
+     documented usage code *)
+  match Cmd.eval main with
+  | 124 -> exit 2
+  | code -> exit code

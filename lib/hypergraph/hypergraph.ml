@@ -215,6 +215,138 @@ let make ?(name = "") ~areas ~nets () =
   done;
   make_csr ~name ~areas ~net_offsets ~net_pins ~net_weights ()
 
+(* Unvalidated construction for ingestion and repair: the CSR is built
+   as-is, so duplicate pins, sub-2-pin nets and non-positive areas/weights
+   survive into the value.  Pins must still be in [0, n) — the counting
+   sort indexes by pin id.  Anything built this way should flow through
+   [validate]/[repair] before reaching an engine. *)
+let make_unchecked ?(name = "") ~areas ~nets () =
+  let n = Array.length areas in
+  Array.iter
+    (fun (pins, _) ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg
+              (Printf.sprintf "Hypergraph.make_unchecked: pin %d out of range" v))
+        pins)
+    nets;
+  let m = Array.length nets in
+  let net_offsets = Array.make (m + 1) 0 in
+  for e = 0 to m - 1 do
+    let pins, _ = nets.(e) in
+    net_offsets.(e + 1) <- net_offsets.(e) + Array.length pins
+  done;
+  let net_pins = Array.make net_offsets.(m) 0 in
+  let net_weights = Array.make m 0 in
+  for e = 0 to m - 1 do
+    let pins, w = nets.(e) in
+    net_weights.(e) <- w;
+    Array.blit pins 0 net_pins net_offsets.(e) (Array.length pins)
+  done;
+  make_csr ~name ~areas ~net_offsets ~net_pins ~net_weights ()
+
+(* ---- Validation and repair ---- *)
+
+module Diag = Mlpart_util.Diag
+
+let validate t =
+  let source = if t.name = "" then "<hypergraph>" else t.name in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n = num_modules t in
+  Array.iteri
+    (fun v a ->
+      if a <= 0 then
+        add (Diag.error ~source Diag.Bad_area "module %d has area %d" v a))
+    t.areas;
+  let seen = Array.make n (-1) in
+  for e = 0 to num_nets t - 1 do
+    if t.net_weights.(e) <= 0 then
+      add (Diag.error ~source Diag.Bad_weight "net %d has weight %d" e
+             t.net_weights.(e));
+    let distinct = ref 0 in
+    iter_pins_of t e (fun v ->
+        if seen.(v) = e then
+          add (Diag.error ~source Diag.Duplicate_pin "net %d repeats pin %d" e v)
+        else begin
+          seen.(v) <- e;
+          incr distinct
+        end);
+    if !distinct = 0 then add (Diag.error ~source Diag.Empty_net "net %d is empty" e)
+    else if !distinct < 2 then
+      add (Diag.error ~source Diag.Singleton_net
+             "net %d has a single distinct pin" e)
+  done;
+  match List.rev !diags with [] -> Ok () | ds -> Error ds
+
+type repair_report = {
+  dropped_nets : int;
+  deduped_pins : int;
+  clamped_areas : int;
+  clamped_weights : int;
+  repair_diags : Diag.t list;
+}
+
+let repair t =
+  let source = if t.name = "" then "<hypergraph>" else t.name in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let dropped = ref 0 and deduped = ref 0 and areas_c = ref 0 and weights_c = ref 0 in
+  let areas =
+    Array.mapi
+      (fun v a ->
+        if a <= 0 then begin
+          incr areas_c;
+          add (Diag.warning ~source Diag.Bad_area
+                 "clamped area of module %d from %d to 1" v a);
+          1
+        end
+        else a)
+      t.areas
+  in
+  let nets = ref [] in
+  for e = 0 to num_nets t - 1 do
+    let pins = pins_of t e in
+    let distinct = List.sort_uniq Int.compare (Array.to_list pins) in
+    let d = List.length distinct in
+    if d < Array.length pins then begin
+      deduped := !deduped + (Array.length pins - d);
+      add (Diag.warning ~source Diag.Duplicate_pin
+             "net %d: collapsed %d duplicate pin(s)" e (Array.length pins - d))
+    end;
+    if d < 2 then begin
+      incr dropped;
+      add (Diag.warning ~source
+             (if d = 0 then Diag.Empty_net else Diag.Singleton_net)
+             "dropped net %d (%d distinct pin(s))" e d)
+    end
+    else begin
+      let w = t.net_weights.(e) in
+      let w =
+        if w <= 0 then begin
+          incr weights_c;
+          add (Diag.warning ~source Diag.Bad_weight
+                 "clamped weight of net %d from %d to 1" e w);
+          1
+        end
+        else w
+      in
+      nets := (Array.of_list distinct, w) :: !nets
+    end
+  done;
+  let repaired =
+    make ~name:t.name ~areas ~nets:(Array.of_list (List.rev !nets)) ()
+  in
+  ( repaired,
+    {
+      dropped_nets = !dropped;
+      deduped_pins = !deduped;
+      clamped_areas = !areas_c;
+      clamped_weights = !weights_c;
+      repair_diags = List.rev !diags;
+    } )
+
 (* ---- Induced coarse hypergraphs (Definition 1) ---- *)
 
 (* Reusable scratch for [induce]: the coarsening loop calls it once per

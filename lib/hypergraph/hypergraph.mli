@@ -125,6 +125,41 @@ val make :
     out of range or repeated within a net, an area is non-positive, or a
     weight is non-positive. *)
 
+val make_unchecked :
+  ?name:string ->
+  areas:int array ->
+  nets:(int array * int) array ->
+  unit ->
+  t
+(** Like {!make} but with no degeneracy validation: duplicate pins,
+    empty/singleton nets and non-positive areas or weights survive into
+    the value.  Pins must still be in range (the CSR build indexes by pin
+    id; out-of-range pins raise [Invalid_argument]).  Used by lenient
+    ingestion and by tests of {!validate}/{!repair}; anything built this
+    way must be repaired before reaching a partitioning engine. *)
+
+val validate : t -> (unit, Mlpart_util.Diag.t list) result
+(** Check the engine-facing invariants ({!make} enforces them,
+    {!make_unchecked} does not): positive areas and weights, every net
+    with at least two distinct pins.  Returns all violations as
+    [Error]-severity diagnostics whose [source] is the hypergraph name. *)
+
+type repair_report = {
+  dropped_nets : int;  (** empty or singleton (after pin dedup) nets removed *)
+  deduped_pins : int;  (** duplicate pin slots collapsed *)
+  clamped_areas : int;  (** non-positive areas raised to 1 *)
+  clamped_weights : int;  (** non-positive net weights raised to 1 *)
+  repair_diags : Mlpart_util.Diag.t list;
+      (** one [Warning] per individual fix, in net/module order *)
+}
+
+val repair : t -> t * repair_report
+(** [repair t] rebuilds [t] with every {!validate} violation fixed: pins
+    deduplicated, empty and singleton nets dropped, non-positive areas and
+    weights clamped to 1.  The result always satisfies {!validate}; on an
+    already-valid input it is structurally identical and the report is all
+    zeros.  Net order (among survivors) and module ids are preserved. *)
+
 type arena
 (** Reusable scratch for {!induce}: mark/stamp arrays and the duplicate-net
     hash table.  One arena threaded through a coarsening loop makes every

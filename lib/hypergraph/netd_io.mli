@@ -18,15 +18,41 @@
 
     Having this reader means the reproduction runs on the original
     benchmark files wherever a user has them, with the synthetic suite as
-    the offline fallback. *)
+    the offline fallback.
+
+    Like {!Hgr_io}, parsing is total: the {!parse_net_string}-family
+    returns typed diagnostics instead of raising.  Duplicate pins within a
+    net and single-pin nets are [Warning]s in {e both} modes (the pin-list
+    format genuinely encodes them in real benchmarks); malformed module
+    names, pad-offset violations, bad pin kinds and count mismatches are
+    errors in strict mode and repaired-with-warning in lenient mode.
+    Truncated or unreadable headers are fatal in both. *)
+
+type mode = Hgr_io.mode = Strict | Lenient
+
+type parsed = {
+  hypergraph : Hypergraph.t;
+  warnings : Mlpart_util.Diag.t list;
+}
+
+val parse_net_string :
+  ?name:string -> ?are:string -> mode:mode -> string ->
+  (parsed, Mlpart_util.Diag.t list) result
+(** Parse a [.net] file's contents (plus optional [.are] contents). *)
+
+val parse_files :
+  ?are_path:string -> mode:mode -> string ->
+  (parsed, Mlpart_util.Diag.t list) result
+(** Read from disk; the hypergraph is named after the net file.  OS-level
+    read failures surface as an [io-error] diagnostic. *)
 
 val read_net_string : ?name:string -> ?are:string -> string -> Hypergraph.t
-(** Parse a [.net] file's contents (plus an optional [.are] contents).
-    Single-pin nets are dropped, duplicate pins within a net collapsed.
-    Raises [Failure] with a line number on malformed input. *)
+(** Strict parse; raises {!Mlpart_util.Diag.Mlpart_error} on malformed
+    input.  Single-pin nets are dropped, duplicate pins collapsed (with
+    warnings discarded). *)
 
 val read_files : ?are_path:string -> string -> Hypergraph.t
-(** Read from disk; the hypergraph is named after the net file. *)
+(** Strict parse from disk; raises {!Mlpart_util.Diag.Mlpart_error}. *)
 
 val pads : Hypergraph.t -> string -> int list
 (** [pads h net_contents] re-parses the pin lines and returns the module

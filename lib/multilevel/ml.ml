@@ -1,6 +1,7 @@
 module H = Mlpart_hypergraph.Hypergraph
 module Rng = Mlpart_util.Rng
 module Pool = Mlpart_util.Pool
+module Deadline = Mlpart_util.Deadline
 module Timer = Mlpart_util.Timer
 module Fm = Mlpart_partition.Fm
 
@@ -193,22 +194,54 @@ let run_vcycles ?(config = mlf) ?fixed ?pool ?phases ?arena ~cycles rng h =
    start index).  With a pool the starts run on separate domains; because
    every start owns its stream and the winner is picked by (cut, index),
    the outcome is bit-identical for any pool size. *)
-let run_starts ?(config = mlf) ?fixed ?pool ?(cycles = 1) ~starts rng h =
+let run_starts ?(config = mlf) ?fixed ?pool ?(cycles = 1) ?deadline ~starts rng h =
   if starts < 1 then invalid_arg "Ml.run_starts: starts < 1";
   let rngs = Array.init starts (fun _ -> Rng.split rng) in
   let results =
-    match pool with
-    | Some pool when Pool.size pool > 1 && starts > 1 ->
-        (* each pooled start builds its own arena inside run_vcycles *)
-        Pool.map pool (fun rng -> run_vcycles ~config ?fixed ~cycles rng h) rngs
-    | Some _ | None ->
-        let arena = Fm.create_arena ~h () in
-        Array.map
-          (fun rng -> run_vcycles ~config ?fixed ~arena ~cycles rng h)
-          rngs
+    match deadline with
+    | None -> (
+        match pool with
+        | Some pool when Pool.size pool > 1 && starts > 1 ->
+            (* each pooled start builds its own arena inside run_vcycles *)
+            Pool.map pool (fun rng -> run_vcycles ~config ?fixed ~cycles rng h) rngs
+        | Some _ | None ->
+            let arena = Fm.create_arena ~h () in
+            Array.map
+              (fun rng -> run_vcycles ~config ?fixed ~arena ~cycles rng h)
+              rngs)
+    | Some dl ->
+        (* Cooperative timeout: starts run in waves (one per pool pass, or
+           singly when sequential) with the deadline polled between waves.
+           Completed starts are never discarded, so the reported best is a
+           genuine prefix of the deterministic no-deadline schedule — a
+           timed-out run returns exactly what runs 0..k-1 would. *)
+        let wave =
+          match pool with Some p when Pool.size p > 1 -> Pool.size p | _ -> 1
+        in
+        let arena = if wave = 1 then Some (Fm.create_arena ~h ()) else None in
+        let acc = ref [] in
+        let completed = ref 0 in
+        while
+          !completed < starts && (!completed = 0 || not (Deadline.check dl))
+        do
+          let n = Stdlib.min wave (starts - !completed) in
+          let batch = Array.sub rngs !completed n in
+          let res =
+            match pool with
+            | Some p when Pool.size p > 1 && n > 1 ->
+                Pool.map p (fun rng -> run_vcycles ~config ?fixed ~cycles rng h) batch
+            | _ ->
+                Array.map
+                  (fun rng -> run_vcycles ~config ?fixed ?arena ~cycles rng h)
+                  batch
+          in
+          acc := res :: !acc;
+          completed := !completed + n
+        done;
+        Array.concat (List.rev !acc)
   in
   let best = ref results.(0) in
-  for i = 1 to starts - 1 do
+  for i = 1 to Array.length results - 1 do
     if results.(i).cut < !best.cut then best := results.(i)
   done;
   !best

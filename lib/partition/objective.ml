@@ -53,24 +53,30 @@ let pp ppf r =
   Format.fprintf ppf "part areas:   %s@."
     (String.concat " " (Array.to_list (Array.map string_of_int r.part_areas)))
 
+module Diag = Mlpart_util.Diag
+
 let read_assignment path =
-  In_channel.with_open_text path (fun ic ->
-      let rec go acc line =
-        match In_channel.input_line ic with
-        | None -> List.rev acc
-        | Some raw ->
-            let raw = String.trim raw in
-            if raw = "" then go acc (line + 1)
-            else begin
-              match int_of_string_opt raw with
-              | Some v -> go (v :: acc) (line + 1)
-              | None ->
-                  failwith
-                    (Printf.sprintf "%s line %d: expected integer, got %S" path
-                       line raw)
-            end
-      in
-      Array.of_list (go [] 1))
+  match
+    In_channel.with_open_text path (fun ic ->
+        let rec go acc line =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some raw ->
+              let raw = String.trim raw in
+              if raw = "" then go acc (line + 1)
+              else begin
+                match int_of_string_opt raw with
+                | Some v -> go (v :: acc) (line + 1)
+                | None ->
+                    Diag.fail ~line ~source:path Diag.Bad_part
+                      "expected integer part id, got %S" raw
+              end
+        in
+        Array.of_list (go [] 1))
+  with
+  | side -> side
+  | exception Sys_error msg ->
+      raise (Diag.Mlpart_error [ Diag.of_sys_error ~source:path msg ])
 
 let write_assignment path side =
   Out_channel.with_open_text path (fun oc ->

@@ -22,6 +22,8 @@ val pp : Format.formatter -> report -> unit
 
 val read_assignment : string -> int array
 (** Read one part id per line (the format written by the CLI).  Raises
-    [Failure] with a line number on malformed input. *)
+    {!Mlpart_util.Diag.Mlpart_error} with a line-numbered [bad-part]
+    diagnostic on malformed input, or an [io-error] one when the file
+    cannot be read. *)
 
 val write_assignment : string -> int array -> unit

@@ -26,6 +26,7 @@ type result = {
   hpwl : float;
   regions : int;
   pads : int array;
+  timed_out : bool;
 }
 
 let grid_legalize h ~x ~y =
@@ -147,8 +148,19 @@ let sub_netlist config h region ~x ~y ~placed members =
   Array.iteri (fun q t -> if t >= 0 then fixed_array.(t) <- q) terminal;
   (sub, fixed_array, count)
 
-let run ?(config = default) rng h =
+let run ?(config = default) ?deadline rng h =
   let n = H.num_modules h in
+  let timed_out = ref false in
+  let past_deadline () =
+    match deadline with
+    | None -> false
+    | Some dl ->
+        if Mlpart_util.Deadline.check dl then begin
+          timed_out := true;
+          true
+        end
+        else false
+  in
   let x = Array.make n 0.0 and y = Array.make n 0.0 in
   let placed = Array.make n false in
   (* Pre-place pads on the boundary as in the GORDIAN baseline. *)
@@ -176,6 +188,10 @@ let run ?(config = default) rng h =
   let die = { x0 = 0.0; y0 = 0.0; x1 = 1.0; y1 = 1.0 } in
   let rec refine region members =
     if Array.length members <= config.leaf_size then
+      place_leaf x y region members
+    else if past_deadline () then
+      (* graceful degradation: no further quadrisection — spread the whole
+         region like a leaf so every module still gets a legal coordinate *)
       place_leaf x y region members
     else begin
       incr regions;
@@ -226,4 +242,5 @@ let run ?(config = default) rng h =
     hpwl = Quadratic.hpwl h ~x ~y;
     regions = !regions;
     pads = Array.map (fun (p, _, _) -> p) gpads;
+    timed_out = !timed_out;
   }

@@ -37,9 +37,21 @@ type result = {
   hpwl : float;
   regions : int;  (** quadrisection calls performed *)
   pads : int array;
+  timed_out : bool;
+      (** the cooperative [deadline] expired: some regions were spread
+          without quadrisection (every module still has a coordinate) *)
 }
 
-val run : ?config:config -> Mlpart_util.Rng.t -> Mlpart_hypergraph.Hypergraph.t -> result
+val run :
+  ?config:config ->
+  ?deadline:Mlpart_util.Deadline.t ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  result
+(** [deadline] is polled cooperatively before each region's quadrisection;
+    once expired, remaining regions degrade to leaf spreading, so the call
+    always returns a complete placement.  Work finished before expiry is
+    identical to the untimed run. *)
 
 val grid_legalize :
   Mlpart_hypergraph.Hypergraph.t ->

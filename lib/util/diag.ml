@@ -1,0 +1,103 @@
+type severity = Warning | Error
+
+type code =
+  | Bad_header
+  | Bad_token
+  | Truncated
+  | Count_mismatch
+  | Pin_out_of_range
+  | Duplicate_pin
+  | Singleton_net
+  | Empty_net
+  | Bad_module_name
+  | Pad_offset
+  | Bad_area
+  | Bad_weight
+  | Bad_part
+  | Invariant
+  | Timeout
+  | Usage
+  | Io_error
+
+type t = {
+  source : string;
+  line : int;
+  code : code;
+  severity : severity;
+  message : string;
+}
+
+exception Mlpart_error of t list
+
+let code_name = function
+  | Bad_header -> "bad-header"
+  | Bad_token -> "bad-token"
+  | Truncated -> "truncated"
+  | Count_mismatch -> "count-mismatch"
+  | Pin_out_of_range -> "pin-out-of-range"
+  | Duplicate_pin -> "duplicate-pin"
+  | Singleton_net -> "singleton-net"
+  | Empty_net -> "empty-net"
+  | Bad_module_name -> "bad-module-name"
+  | Pad_offset -> "pad-offset"
+  | Bad_area -> "bad-area"
+  | Bad_weight -> "bad-weight"
+  | Bad_part -> "bad-part"
+  | Invariant -> "invariant"
+  | Timeout -> "timeout"
+  | Usage -> "usage"
+  | Io_error -> "io-error"
+
+let make ?(line = 0) ~severity ~source code fmt =
+  Printf.ksprintf (fun message -> { source; line; code; severity; message }) fmt
+
+let error ?line ~source code fmt = make ?line ~severity:Error ~source code fmt
+let warning ?line ~source code fmt = make ?line ~severity:Warning ~source code fmt
+
+let fail ?line ~source code fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise
+        (Mlpart_error
+           [ { source; line = Option.value line ~default:0; code;
+               severity = Error; message } ]))
+    fmt
+
+let of_sys_error ~source msg =
+  let prefix = source ^ ": " in
+  let message =
+    if source <> "" && String.starts_with ~prefix msg then
+      String.sub msg (String.length prefix) (String.length msg - String.length prefix)
+    else msg
+  in
+  { source; line = 0; code = Io_error; severity = Error; message }
+
+let to_string d =
+  let sev = match d.severity with Warning -> "warning" | Error -> "error" in
+  let where =
+    match (d.source, d.line) with
+    | "", 0 -> ""
+    | "", l -> Printf.sprintf "line %d: " l
+    | s, 0 -> s ^ ": "
+    | s, l -> Printf.sprintf "%s:%d: " s l
+  in
+  Printf.sprintf "%s[%s] %s%s" sev (code_name d.code) where d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let exit_code ds =
+  let has c = List.exists (fun d -> d.code = c) ds in
+  if has Usage then 2
+  else if has Timeout then 5
+  else if has Invariant then 4
+  else 3
+
+(* [Mlpart_error] must render usefully when it escapes to the toplevel
+   (e.g. in library clients without a boundary). *)
+let () =
+  Printexc.register_printer (function
+    | Mlpart_error ds ->
+        Some (String.concat "\n" (List.map to_string ds))
+    | _ -> None)

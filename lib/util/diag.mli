@@ -1,0 +1,80 @@
+(** Typed diagnostics — the single error currency of the library.
+
+    Every ingestion and validation boundary (file parsers, hypergraph
+    invariant checks, the CLI) reports problems as {!t} values instead of
+    free-form [Failure] strings, so callers can match on the {!code},
+    count severities, and render one structured line per issue.  The one
+    exception used across library boundaries is {!Mlpart_error}; nothing
+    in the library raises bare [Failure] for malformed input anymore.
+
+    Diagnostic classes map onto the CLI's documented exit codes
+    (see {!exit_code}): 2 usage, 3 parse error, 4 invariant violation,
+    5 timeout. *)
+
+type severity = Warning | Error
+
+type code =
+  | Bad_header  (** malformed or missing header line *)
+  | Bad_token  (** token where an integer/name was expected *)
+  | Truncated  (** input ended before the declared content *)
+  | Count_mismatch  (** declared pin/net/weight counts disagree with content *)
+  | Pin_out_of_range  (** pin index outside the declared module range *)
+  | Duplicate_pin  (** the same module listed twice in one net *)
+  | Singleton_net  (** net with fewer than two distinct pins *)
+  | Empty_net  (** net with no pins at all *)
+  | Bad_module_name  (** netD module name not of the form [aN]/[pN] *)
+  | Pad_offset  (** netD cell/pad index violating the header's pad offset *)
+  | Bad_area  (** non-positive or non-integer module area *)
+  | Bad_weight  (** non-positive net weight *)
+  | Bad_part  (** malformed entry in a part-assignment file *)
+  | Invariant  (** internal hypergraph invariant violated *)
+  | Timeout  (** cooperative deadline expired *)
+  | Usage  (** command-line misuse *)
+  | Io_error  (** OS-level read/write failure *)
+
+type t = {
+  source : string;  (** file name, benchmark name, or subsystem *)
+  line : int;  (** 1-based line number; 0 when not line-addressable *)
+  code : code;
+  severity : severity;
+  message : string;
+}
+
+exception Mlpart_error of t list
+(** The library-boundary exception.  Always carries at least one
+    [Error]-severity diagnostic. *)
+
+val code_name : code -> string
+(** Stable kebab-case name, e.g. [Pin_out_of_range] -> ["pin-out-of-range"].
+    Part of the CLI output contract; tests golden-match on it. *)
+
+val make :
+  ?line:int -> severity:severity -> source:string -> code ->
+  ('a, unit, string, t) format4 -> 'a
+(** [make ~severity ~source code fmt ...] builds a diagnostic with a
+    printf-formatted message. *)
+
+val error : ?line:int -> source:string -> code -> ('a, unit, string, t) format4 -> 'a
+val warning : ?line:int -> source:string -> code -> ('a, unit, string, t) format4 -> 'a
+
+val fail : ?line:int -> source:string -> code -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Mlpart_error} with a single [Error] diagnostic. *)
+
+val of_sys_error : source:string -> string -> t
+(** [Io_error] diagnostic from a [Sys_error] message.  [Sys_error] payloads
+    usually lead with the offending path; when it equals [source] the prefix
+    is stripped so the rendered line does not repeat it. *)
+
+val to_string : t -> string
+(** One structured line: ["error[pin-out-of-range] foo.hgr:12: pin 9 out of
+    range 1..4"].  The line number is omitted when 0. *)
+
+val pp : Format.formatter -> t -> unit
+
+val errors : t list -> t list
+(** The [Error]-severity subset, in order. *)
+
+val exit_code : t list -> int
+(** Documented CLI exit code for a diagnostic set: 2 if any [Usage], else
+    5 if any [Timeout], else 4 if any [Invariant], else 3 (parse/I-O).
+    Call with a non-empty list. *)

@@ -114,16 +114,25 @@ let parallel_for ?chunk t ~start ~stop ~body =
       | None -> Stdlib.max 1 (len / (4 * t.size))
     in
     let next = Atomic.make start in
+    (* Shared cancellation flag: the first chunk whose body raises flips it,
+       and every participant (including the raiser's siblings mid-job) stops
+       taking chunks instead of grinding through the rest of the range.  The
+       exception itself still propagates through [run_job]'s error slot. *)
+    let cancelled = Atomic.make false in
     run_job t (fun _ ->
         let continue = ref true in
-        while !continue do
+        while !continue && not (Atomic.get cancelled) do
           let lo = Atomic.fetch_and_add next chunk in
           if lo >= stop then continue := false
           else begin
             let hi = Stdlib.min stop (lo + chunk) in
-            for i = lo to hi - 1 do
-              body i
-            done
+            try
+              for i = lo to hi - 1 do
+                body i
+              done
+            with exn ->
+              Atomic.set cancelled true;
+              raise exn
           end
         done)
   end
@@ -143,12 +152,29 @@ let recommended_jobs () = Domain.recommended_domain_count ()
 
 let shared = ref None
 
+(* Join the shared pool's domains at process exit so a program that only
+   ever used [get] terminates cleanly instead of leaking blocked domains.
+   Guarded: exit may arrive while a job is mid-flight (e.g. [exit] from a
+   signal handler), in which case shutdown refuses and we let the runtime
+   tear the process down. *)
+let at_exit_registered = ref false
+
+let register_shared_at_exit () =
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit (fun () ->
+        match !shared with
+        | Some t when not t.stopping -> ( try shutdown t with _ -> ())
+        | Some _ | None -> ())
+  end
+
 let get ~jobs =
   let jobs = Stdlib.max 1 jobs in
   match !shared with
   | Some t when t.size = jobs && not t.stopping -> t
   | prev ->
       (match prev with Some t -> shutdown t | None -> ());
+      register_shared_at_exit ();
       let t = create ~jobs in
       shared := Some t;
       t

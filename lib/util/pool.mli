@@ -28,7 +28,8 @@ val get : jobs:int -> t
 (** Shared process-wide pool, (re)spawned only when the requested size
     changes — the "spawn once" entry point for harness code that is handed
     a jobs count repeatedly.  Not thread-safe; call from the orchestrating
-    domain only. *)
+    domain only.  The first call registers an [at_exit] hook that joins the
+    shared pool's worker domains at process exit. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
@@ -37,7 +38,11 @@ val parallel_for : ?chunk:int -> t -> start:int -> stop:int -> body:(int -> unit
 (** [parallel_for t ~start ~stop ~body] runs [body i] for [start <= i <
     stop] across the pool.  [chunk] overrides the contiguous block size
     handed to a domain at a time (default [len / (4 * size)]).  Exceptions
-    in [body] are re-raised in the caller (first one wins). *)
+    in [body] are re-raised in the caller (first one wins); a raising body
+    also flips a shared cancellation flag checked before every chunk, so
+    the remaining chunks are abandoned early rather than run to completion.
+    An exception neither deadlocks the pool nor poisons it — the next
+    operation on the same pool starts from a clean slate. *)
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with result order matching input order. *)

@@ -422,8 +422,12 @@ let test_objective_read_rejects_garbage () =
     (fun () ->
       Out_channel.with_open_text path (fun oc -> output_string oc "0\nxyz\n");
       match Obj.read_assignment path with
-      | _ -> Alcotest.fail "expected Failure"
-      | exception Failure _ -> ())
+      | _ -> Alcotest.fail "expected Mlpart_error"
+      | exception Mlpart_util.Diag.Mlpart_error (d :: _) ->
+          Alcotest.(check bool)
+            "bad-part code" true
+            (d.Mlpart_util.Diag.code = Mlpart_util.Diag.Bad_part);
+          Alcotest.(check int) "line number" 2 d.Mlpart_util.Diag.line)
 
 (* ---- PROP ---- *)
 

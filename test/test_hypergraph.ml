@@ -5,6 +5,7 @@ module H = Mlpart_hypergraph.Hypergraph
 module Builder = Mlpart_hypergraph.Builder
 module Hgr_io = Mlpart_hypergraph.Hgr_io
 module Rng = Mlpart_util.Rng
+module Diag = Mlpart_util.Diag
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -172,6 +173,62 @@ let test_builder_reusable () =
   check Alcotest.int "first build" 1 (H.num_nets h1);
   check Alcotest.int "second build sees new net" 2 (H.num_nets h2)
 
+(* ---- validate / repair ---- *)
+
+(* [make_unchecked] lets tests build the degenerate values that lenient
+   ingestion has to survive. *)
+let degenerate () =
+  H.make_unchecked ~name:"degen"
+    ~areas:[| 1; 0; 3; -2 |]
+    ~nets:
+      [|
+        ([| 0; 1 |], 1); (* fine *)
+        ([| 2; 2; 3 |], 0); (* duplicate pin, bad weight *)
+        ([| 1 |], 1); (* singleton *)
+        ([||], 1); (* empty *)
+      |]
+    ()
+
+let test_validate_clean () =
+  check Alcotest.bool "sample validates" true (H.validate (sample ()) = Ok ())
+
+let test_validate_degenerate () =
+  match H.validate (degenerate ()) with
+  | Ok () -> Alcotest.fail "expected violations"
+  | Error diags ->
+      let count c = List.length (List.filter (fun d -> d.Diag.code = c) diags) in
+      check Alcotest.int "bad areas" 2 (count Diag.Bad_area);
+      check Alcotest.int "bad weight" 1 (count Diag.Bad_weight);
+      check Alcotest.int "duplicate pin" 1 (count Diag.Duplicate_pin);
+      check Alcotest.int "singleton" 1 (count Diag.Singleton_net);
+      check Alcotest.int "empty" 1 (count Diag.Empty_net);
+      check Alcotest.bool "all errors" true
+        (List.for_all (fun d -> d.Diag.severity = Diag.Error) diags)
+
+let test_repair_degenerate () =
+  let repaired, report = H.repair (degenerate ()) in
+  check Alcotest.bool "repaired validates" true (H.validate repaired = Ok ());
+  check Alcotest.int "nets dropped" 2 report.H.dropped_nets;
+  check Alcotest.int "pins deduped" 1 report.H.deduped_pins;
+  check Alcotest.int "areas clamped" 2 report.H.clamped_areas;
+  check Alcotest.int "weights clamped" 1 report.H.clamped_weights;
+  check Alcotest.int "surviving nets" 2 (H.num_nets repaired);
+  check Alcotest.(array int) "net order preserved" [| 0; 1 |] (H.pins_of repaired 0);
+  check Alcotest.(array int) "deduped net" [| 2; 3 |] (H.pins_of repaired 1);
+  check Alcotest.int "clamped area" 1 (H.area repaired 1);
+  check Alcotest.int "clamped weight" 1 (H.net_weight repaired 1)
+
+let test_repair_identity_on_valid () =
+  let h = sample () in
+  let repaired, report = H.repair h in
+  check Alcotest.int "no drops" 0 report.H.dropped_nets;
+  check Alcotest.int "no dedup" 0 report.H.deduped_pins;
+  check Alcotest.int "no clamps" 0
+    (report.H.clamped_areas + report.H.clamped_weights);
+  check Alcotest.bool "no diags" true (report.H.repair_diags = []);
+  check Alcotest.int "same nets" (H.num_nets h) (H.num_nets repaired);
+  check Alcotest.int "same pins" (H.num_pins h) (H.num_pins repaired)
+
 (* ---- hgr io ---- *)
 
 let test_io_roundtrip_plain () =
@@ -201,24 +258,75 @@ let test_io_comments_and_blanks () =
   check Alcotest.int "nets parsed" 2 (H.num_nets h);
   check Alcotest.int "modules" 3 (H.num_modules h)
 
+(* Typed rejection: the legacy entry points raise [Diag.Mlpart_error]
+   carrying the expected code. *)
+let expect_diag code f =
+  match f () with
+  | _ -> Alcotest.fail "expected Mlpart_error"
+  | exception Diag.Mlpart_error diags ->
+      check Alcotest.bool
+        (Printf.sprintf "carries %s" (Diag.code_name code))
+        true
+        (List.exists (fun d -> d.Diag.code = code) diags)
+
 let test_io_rejects_bad_header () =
-  (match Hgr_io.of_string "abc\n" with
-  | _ -> Alcotest.fail "expected Failure"
-  | exception Failure _ -> ())
+  expect_diag Diag.Bad_header (fun () -> Hgr_io.of_string "abc\n")
 
 let test_io_rejects_out_of_range_pin () =
-  (match Hgr_io.of_string "1 2\n1 3\n" with
-  | _ -> Alcotest.fail "expected Failure"
-  | exception Failure _ -> ())
+  expect_diag Diag.Pin_out_of_range (fun () -> Hgr_io.of_string "1 2\n1 3\n")
 
 let test_io_rejects_truncated () =
-  (match Hgr_io.of_string "2 3\n1 2\n" with
-  | _ -> Alcotest.fail "expected Failure"
-  | exception Failure _ -> ())
+  expect_diag Diag.Truncated (fun () -> Hgr_io.of_string "2 3\n1 2\n")
 
-let test_io_single_pin_net_dropped () =
-  let h = Hgr_io.of_string "2 3\n1 1\n1 2\n" in
-  check Alcotest.int "degenerate net dropped" 1 (H.num_nets h)
+let test_io_single_pin_net_strict_vs_lenient () =
+  let text = "2 3\n1 1\n1 2\n" in
+  (* strict: the drop would silently renumber nets -> typed error with the
+     original net index *)
+  expect_diag Diag.Singleton_net (fun () -> Hgr_io.of_string text);
+  (* lenient: dropped, and the warning names the original net index 0 and
+     its source line *)
+  match Hgr_io.parse_string ~mode:Hgr_io.Lenient text with
+  | Error _ -> Alcotest.fail "lenient parse should succeed"
+  | Ok { Hgr_io.hypergraph = h; warnings } ->
+      check Alcotest.int "degenerate net dropped" 1 (H.num_nets h);
+      let w = List.find (fun d -> d.Diag.code = Diag.Singleton_net) warnings in
+      check Alcotest.int "warning line" 2 w.Diag.line;
+      check Alcotest.bool "warning names net 0" true
+        (String.length w.Diag.message >= 5 && String.sub w.Diag.message 0 5 = "net 0")
+
+let test_io_lenient_recovers_degenerate () =
+  (* out-of-range pin dropped, duplicate collapsed, weight clamped, short
+     module-weight section defaulted — one warning each, result valid *)
+  let text = "2 3 11\n0 1 2 9\n2 2 3 3\n4\n" in
+  match Hgr_io.parse_string ~mode:Hgr_io.Lenient text with
+  | Error ds ->
+      Alcotest.failf "lenient parse failed: %s"
+        (String.concat "; " (List.map Diag.to_string ds))
+  | Ok { Hgr_io.hypergraph = h; warnings } ->
+      check Alcotest.int "both nets kept" 2 (H.num_nets h);
+      check Alcotest.(array int) "net 0 pins" [| 0; 1 |] (H.pins_of h 0);
+      check Alcotest.(array int) "net 1 pins" [| 1; 2 |] (H.pins_of h 1);
+      check Alcotest.int "weight clamped" 1 (H.net_weight h 0);
+      check Alcotest.int "area read" 4 (H.area h 0);
+      check Alcotest.int "missing areas default" 1 (H.area h 2);
+      check Alcotest.bool "validates" true (H.validate h = Ok ());
+      let has c = List.exists (fun d -> d.Diag.code = c) warnings in
+      check Alcotest.bool "pin range warning" true (has Diag.Pin_out_of_range);
+      check Alcotest.bool "duplicate warning" true (has Diag.Duplicate_pin);
+      check Alcotest.bool "weight warning" true (has Diag.Bad_weight);
+      check Alcotest.bool "truncation warning" true (has Diag.Truncated)
+
+let test_io_strict_reports_all_issues () =
+  (* strict mode scans the whole file: both problems reported, not just
+     the first *)
+  match Hgr_io.parse_string ~mode:Hgr_io.Strict "2 3\n1 9\n4 2\n" with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error diags ->
+      let codes = List.map (fun d -> d.Diag.code) diags in
+      check Alcotest.bool "range error present" true
+        (List.mem Diag.Pin_out_of_range codes);
+      check Alcotest.bool "second line's error present" true
+        (List.length (List.filter (fun c -> c = Diag.Pin_out_of_range) codes) >= 2)
 
 let test_io_net_weights_only () =
   let h =
@@ -367,24 +475,90 @@ let test_netd_pads () =
   check Alcotest.(list int) "pad ids" [ 3 ] (Netd.pads h sample_net)
 
 let test_netd_rejects_bad () =
-  let expect s =
-    match Netd.read_net_string s with
-    | _ -> Alcotest.fail "expected Failure"
-    | exception Failure _ -> ()
-  in
-  expect "1\n1\n1\n1\n1\na0 s\n";
-  (* leading 0 missing *)
-  expect "0\n1\n1\n2\n1\na0 l\n";
-  (* continuation first *)
-  expect "0\n1\n1\n2\n1\nq0 s\n";
-  (* bad name *)
-  expect "0\n2\n1\n2\n1\na0 s\na9 l\n"
-(* module beyond count *)
+  expect_diag Diag.Bad_header (fun () ->
+      Netd.read_net_string "1\n1\n1\n1\n1\na0 s\n" (* leading 0 missing *));
+  expect_diag Diag.Bad_token (fun () ->
+      Netd.read_net_string "0\n1\n1\n2\n1\na0 l\n" (* continuation first *));
+  expect_diag Diag.Bad_module_name (fun () ->
+      Netd.read_net_string "0\n1\n1\n2\n1\nq0 s\n" (* bad name *));
+  expect_diag Diag.Pin_out_of_range (fun () ->
+      Netd.read_net_string "0\n2\n1\n2\n1\na0 s\na9 l\n" (* beyond count *))
 
 let test_netd_count_check () =
-  (match Netd.read_net_string "0\n5\n2\n4\n2\na0 s\na1 l\n" with
-  | _ -> Alcotest.fail "expected Failure"
-  | exception Failure _ -> ())
+  expect_diag Diag.Count_mismatch (fun () ->
+      Netd.read_net_string "0\n5\n2\n4\n2\na0 s\na1 l\n")
+
+(* Golden diagnostics: exact rendered lines, strict mode.  These pin the
+   structured-output contract the CLI prints and scripts can grep. *)
+let strict_diag_lines s =
+  match Netd.parse_net_string ~name:"bad" ~mode:Netd.Strict s with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error diags -> List.map Diag.to_string diags
+
+let test_netd_golden_bad_name () =
+  check
+    Alcotest.(list string)
+    "golden"
+    [ "error[bad-module-name] bad:6: module name \"q0\" must start with 'a' or 'p'" ]
+    (strict_diag_lines "0\n3\n1\n3\n2\nq0 s\na1 l\na2 l\n")
+
+let test_netd_golden_pad_offset () =
+  (* a9 with pad offset 2: outside the cell namespace, and its id also
+     exceeds the declared module count *)
+  check
+    Alcotest.(list string)
+    "golden"
+    [ "error[pad-offset] bad:7: cell \"a9\" outside pad offset 2";
+      "error[pin-out-of-range] bad:7: module \"a9\" maps to id 9 outside \
+       declared count 3" ]
+    (strict_diag_lines "0\n3\n1\n3\n2\na0 s\na9 l\na1 l\n");
+  check
+    Alcotest.(list string)
+    "golden pad index"
+    [ "error[pad-offset] bad:6: bad pad index in \"p0\"" ]
+    (strict_diag_lines "0\n3\n1\n3\n2\np0 s\na1 l\na2 l\n")
+
+let test_netd_golden_truncated () =
+  check
+    Alcotest.(list string)
+    "golden"
+    [ "error[truncated] bad:3: missing or malformed header (need 5 \
+       single-token header lines)" ]
+    (strict_diag_lines "0\n4\n2\n")
+
+(* The same inputs in lenient mode: parse succeeds, each problem becomes a
+   warning with the same code, and the offending pin is dropped. *)
+let test_netd_lenient_recovers () =
+  let parse s =
+    match Netd.parse_net_string ~name:"bad" ~mode:Netd.Lenient s with
+    | Ok p -> p
+    | Error ds ->
+        Alcotest.failf "lenient parse failed: %s"
+          (String.concat "; " (List.map Diag.to_string ds))
+  in
+  let has code p = List.exists (fun d -> d.Diag.code = code) p.Netd.warnings in
+  let all_warnings p =
+    List.for_all (fun d -> d.Diag.severity = Diag.Warning) p.Netd.warnings
+  in
+  let p = parse "0\n3\n1\n3\n2\nq0 s\na1 l\na2 l\n" in
+  check Alcotest.bool "bad name warned" true (has Diag.Bad_module_name p);
+  check Alcotest.bool "only warnings" true (all_warnings p);
+  check Alcotest.int "net survives without the bad pin" 1
+    (H.num_nets p.Netd.hypergraph);
+  check Alcotest.(array int) "remaining pins" [| 1; 2 |]
+    (H.pins_of p.Netd.hypergraph 0);
+  let p = parse "0\n2\n1\n3\n2\na0 s\na9 l\n" in
+  check Alcotest.bool "pad-offset warned" true (has Diag.Pad_offset p);
+  check Alcotest.bool "range warned" true (has Diag.Pin_out_of_range p);
+  (* a0 alone is a singleton -> dropped with a warning *)
+  check Alcotest.bool "singleton warned" true (has Diag.Singleton_net p);
+  check Alcotest.int "degenerate net dropped" 0 (H.num_nets p.Netd.hypergraph);
+  (* truncated header stays fatal even in lenient mode *)
+  match Netd.parse_net_string ~name:"bad" ~mode:Netd.Lenient "0\n4\n2\n" with
+  | Ok _ -> Alcotest.fail "truncated header must stay fatal"
+  | Error diags ->
+      check Alcotest.bool "truncated" true
+        (List.exists (fun d -> d.Diag.code = Diag.Truncated) diags)
 
 let test_netd_roundtrip () =
   let rng = Rng.create 9 in
@@ -520,6 +694,21 @@ let () =
           Alcotest.test_case "count check" `Quick test_netd_count_check;
           Alcotest.test_case "roundtrip" `Quick test_netd_roundtrip;
           Alcotest.test_case "file read" `Quick test_netd_file_read;
+          Alcotest.test_case "golden bad name" `Quick test_netd_golden_bad_name;
+          Alcotest.test_case "golden pad offset" `Quick
+            test_netd_golden_pad_offset;
+          Alcotest.test_case "golden truncated" `Quick
+            test_netd_golden_truncated;
+          Alcotest.test_case "lenient recovers" `Quick test_netd_lenient_recovers;
+        ] );
+      ( "validate_repair",
+        [
+          Alcotest.test_case "clean validates" `Quick test_validate_clean;
+          Alcotest.test_case "degenerate violations" `Quick
+            test_validate_degenerate;
+          Alcotest.test_case "repair degenerate" `Quick test_repair_degenerate;
+          Alcotest.test_case "repair identity" `Quick
+            test_repair_identity_on_valid;
         ] );
       ( "analysis",
         [
@@ -545,8 +734,12 @@ let () =
           Alcotest.test_case "reject bad header" `Quick test_io_rejects_bad_header;
           Alcotest.test_case "reject bad pin" `Quick test_io_rejects_out_of_range_pin;
           Alcotest.test_case "reject truncated" `Quick test_io_rejects_truncated;
-          Alcotest.test_case "single-pin net dropped" `Quick
-            test_io_single_pin_net_dropped;
+          Alcotest.test_case "single-pin net strict vs lenient" `Quick
+            test_io_single_pin_net_strict_vs_lenient;
+          Alcotest.test_case "lenient recovers degenerate" `Quick
+            test_io_lenient_recovers_degenerate;
+          Alcotest.test_case "strict reports all issues" `Quick
+            test_io_strict_reports_all_issues;
           Alcotest.test_case "net weights only" `Quick test_io_net_weights_only;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
           qtest prop_io_roundtrip;

@@ -322,6 +322,26 @@ let test_ml_run_starts_pool_identical () =
   check Alcotest.(array int) "same side" seq.Ml.side par.Ml.side;
   check Alcotest.int "cut recount" (Fm.cut_of h par.Ml.side) par.Ml.cut
 
+let test_ml_run_starts_deadline () =
+  let module Deadline = Mlpart_util.Deadline in
+  let h = random_instance ~modules:200 31 in
+  (* an already-expired deadline still completes the first start and returns
+     its (valid) partition — never an empty or partial result *)
+  let dl = Deadline.make ~seconds:0.0 in
+  let timed = Ml.run_starts ~deadline:dl ~starts:8 (Rng.create 32) h in
+  let first = Ml.run_starts ~starts:1 (Rng.create 32) h in
+  check Alcotest.bool "deadline reported expired" true (Deadline.expired dl);
+  check Alcotest.int "first start only" first.Ml.cut timed.Ml.cut;
+  check Alcotest.(array int) "same side" first.Ml.side timed.Ml.side;
+  check Alcotest.int "cut recount" (Fm.cut_of h timed.Ml.side) timed.Ml.cut;
+  (* a generous deadline changes nothing: all starts complete *)
+  let dl = Deadline.make ~seconds:3600.0 in
+  let full = Ml.run_starts ~deadline:dl ~starts:4 (Rng.create 32) h in
+  let untimed = Ml.run_starts ~starts:4 (Rng.create 32) h in
+  check Alcotest.bool "not expired" false (Deadline.expired dl);
+  check Alcotest.int "untimed cut" untimed.Ml.cut full.Ml.cut;
+  check Alcotest.(array int) "untimed side" untimed.Ml.side full.Ml.side
+
 let test_vcycles_rejects_zero () =
   let h = random_instance 27 in
   (match Ml.run_vcycles ~cycles:0 (Rng.create 1) h with
@@ -467,6 +487,8 @@ let () =
           Alcotest.test_case "vcycles reject zero" `Quick test_vcycles_rejects_zero;
           Alcotest.test_case "run_starts pool identical" `Quick
             test_ml_run_starts_pool_identical;
+          Alcotest.test_case "run_starts deadline" `Quick
+            test_ml_run_starts_deadline;
         ] );
       ( "rb",
         [

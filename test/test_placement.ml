@@ -257,6 +257,26 @@ let test_topdown_spreads_cells () =
       if c > 8 then Alcotest.failf "%d modules stacked on one slot" c)
     seen
 
+let test_topdown_deadline_degrades_gracefully () =
+  let module Deadline = Mlpart_util.Deadline in
+  let h = gordian_instance 16 in
+  let dl = Deadline.make ~seconds:0.0 in
+  let r = T.run ~deadline:dl (Rng.create 3) h in
+  check Alcotest.bool "flagged timed out" true r.T.timed_out;
+  check Alcotest.int "no quadrisection ran" 0 r.T.regions;
+  (* graceful degradation: every module still gets an in-die coordinate *)
+  for v = 0 to H.num_modules h - 1 do
+    if r.T.x.(v) < 0.0 || r.T.x.(v) > 1.0 || r.T.y.(v) < 0.0 || r.T.y.(v) > 1.0
+    then Alcotest.failf "module %d outside the die after timeout" v
+  done;
+  (* a generous deadline is a no-op: identical to the untimed run *)
+  let dl = Deadline.make ~seconds:3600.0 in
+  let timed = T.run ~deadline:dl (Rng.create 4) h in
+  let untimed = T.run (Rng.create 4) h in
+  check Alcotest.bool "not timed out" false timed.T.timed_out;
+  check Alcotest.(array (float 1e-9)) "same x" untimed.T.x timed.T.x;
+  check Alcotest.(array (float 1e-9)) "same y" untimed.T.y timed.T.y
+
 let test_topdown_terminal_propagation_helps () =
   let h = gordian_instance 16 in
   let with_tp = T.run (Rng.create 3) h in
@@ -356,6 +376,8 @@ let () =
           Alcotest.test_case "places everything" `Quick
             test_topdown_places_everything;
           Alcotest.test_case "spreads cells" `Quick test_topdown_spreads_cells;
+          Alcotest.test_case "deadline degrades gracefully" `Quick
+            test_topdown_deadline_degrades_gracefully;
           Alcotest.test_case "terminal propagation" `Slow
             test_topdown_terminal_propagation_helps;
           Alcotest.test_case "beats legalized gordian" `Slow

@@ -237,6 +237,67 @@ let test_pool_exception_propagates () =
       let out = Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
       check Alcotest.(array int) "fresh pool works" [| 2; 3; 4 |] out)
 
+let test_pool_exception_no_deadlock_and_reusable () =
+  (* a raising body must neither hang run_job nor poison the SAME pool for
+     subsequent jobs *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      (match
+         Pool.parallel_for pool ~start:0 ~stop:64 ~body:(fun i ->
+             if i = 17 then failwith "chunk boom")
+       with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure msg -> check Alcotest.string "message" "chunk boom" msg);
+      (* the same pool instance accepts and completes the next job *)
+      let out = Pool.map pool (fun x -> x * 3) [| 1; 2; 3; 4 |] in
+      check Alcotest.(array int) "same pool reusable" [| 3; 6; 9; 12 |] out;
+      (match
+         Pool.map pool (fun x -> if x = 2 then raise Exit else x) [| 1; 2 |]
+       with
+      | _ -> Alcotest.fail "expected Exit"
+      | exception Exit -> ());
+      let total =
+        Pool.map_reduce pool ~map:Fun.id ~reduce:( + ) ~init:0
+          (Array.init 10 succ)
+      in
+      check Alcotest.int "map_reduce after failures" 55 total)
+
+let test_pool_cancellation_skips_chunks () =
+  (* once a body raises, the cancellation flag stops remaining chunks: with
+     chunk size forced to 1 by a tiny range-per-chunk, far fewer than [stop]
+     iterations execute *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let executed = Atomic.make 0 in
+      let stop = 100_000 in
+      (match
+         Pool.parallel_for pool ~start:0 ~stop ~body:(fun _ ->
+             ignore (Atomic.fetch_and_add executed 1);
+             failwith "cancel now")
+       with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure _ -> ());
+      let ran = Atomic.get executed in
+      check Alcotest.bool
+        (Printf.sprintf "executed %d of %d" ran stop)
+        true
+        (ran < stop / 2))
+
+module Deadline = Mlpart_util.Deadline
+
+let test_deadline_latches () =
+  let dl = Deadline.make ~seconds:3600.0 in
+  check Alcotest.bool "not yet expired" false (Deadline.check dl);
+  check Alcotest.bool "expired agrees" false (Deadline.expired dl);
+  check Alcotest.bool "remaining positive" true (Deadline.remaining dl > 0.0)
+
+let test_deadline_pre_expired () =
+  let dl = Deadline.make ~seconds:0.0 in
+  check Alcotest.bool "zero budget expires" true (Deadline.check dl);
+  check Alcotest.bool "stays expired" true (Deadline.expired dl);
+  check Alcotest.bool "latched" true (Deadline.check dl);
+  check Alcotest.bool "no time left" true (Deadline.remaining dl <= 0.0);
+  let neg = Deadline.make ~seconds:(-5.0) in
+  check Alcotest.bool "negative budget expires" true (Deadline.check neg)
+
 let test_pool_sequential_fallback () =
   Pool.with_pool ~jobs:1 (fun pool ->
       check Alcotest.int "size 1" 1 (Pool.size pool);
@@ -288,7 +349,16 @@ let () =
           Alcotest.test_case "map_reduce" `Quick test_pool_map_reduce;
           Alcotest.test_case "exception propagates" `Quick
             test_pool_exception_propagates;
+          Alcotest.test_case "exception no deadlock, pool reusable" `Quick
+            test_pool_exception_no_deadlock_and_reusable;
+          Alcotest.test_case "cancellation skips chunks" `Quick
+            test_pool_cancellation_skips_chunks;
           Alcotest.test_case "sequential fallback" `Quick
             test_pool_sequential_fallback;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "latches" `Quick test_deadline_latches;
+          Alcotest.test_case "pre-expired" `Quick test_deadline_pre_expired;
         ] );
     ]
