@@ -128,11 +128,30 @@ let kernels ?json () =
   | None -> ()
   | Some path ->
       (* Phase breakdown of one MLc run on balu rides along with the kernel
-         timings, so the per-phase trajectory is tracked across PRs too. *)
-      let module Timer = Mlpart_util.Timer in
+         timings, so the per-phase trajectory is tracked across PRs too.
+         The breakdown is derived from Trace spans — the same timing source
+         chrome://tracing exports use — keeping the JSON keys byte-identical
+         to the old Timer-based output. *)
+      let module Trace = Mlpart_obs.Trace in
       let module Ml = Mlpart_multilevel.Ml in
-      let phases = Timer.phases_create () in
-      ignore (Ml.run ~config:Ml.mlc ~phases (Rng.create 7) balu);
+      Trace.enable ();
+      ignore (Ml.run ~config:Ml.mlc (Rng.create 7) balu);
+      let coarsen_s = ref 0.0
+      and initial_s = ref 0.0
+      and refine_s = ref 0.0
+      and refine_levels = ref 0 in
+      List.iter
+        (fun (e : Trace.event) ->
+          let dur_s = float_of_int e.Trace.dur *. 1e-9 in
+          match e.Trace.name with
+          | "ml/coarsen" -> coarsen_s := !coarsen_s +. dur_s
+          | "ml/initial" -> initial_s := !initial_s +. dur_s
+          | "ml/refine_level" ->
+              refine_s := !refine_s +. dur_s;
+              incr refine_levels
+          | _ -> ())
+        (Trace.events ());
+      Trace.disable ();
       let buf = Buffer.create 1024 in
       Buffer.add_string buf "{\n  \"kernels\": [\n";
       let last = List.length rows - 1 in
@@ -148,8 +167,7 @@ let kernels ?json () =
         (Printf.sprintf
            "  \"phases_mlc_balu\": {\"coarsen_s\": %.6f, \"initial_s\": %.6f, \
             \"refine_s\": %.6f, \"refine_levels\": %d}\n"
-           phases.Timer.coarsen phases.Timer.initial phases.Timer.refine
-           phases.Timer.refine_levels);
+           !coarsen_s !initial_s !refine_s !refine_levels);
       Buffer.add_string buf "}\n";
       Out_channel.with_open_text path (fun oc ->
           Out_channel.output_string oc (Buffer.contents buf));

@@ -22,9 +22,15 @@ module Diag = Mlpart_util.Diag
 module Deadline = Mlpart_util.Deadline
 module Fm = Mlpart_partition.Fm
 module Ml = Mlpart_multilevel.Ml
+module Trace = Mlpart_obs.Trace
+module Metrics = Mlpart_obs.Metrics
 open Cmdliner
 
-let print_diag d = Printf.eprintf "%s\n" (Diag.to_string d)
+let print_diag d =
+  (* every printed diagnostic also counts as diag.<severity>.<code> in the
+     --metrics export *)
+  Metrics.record_diag d;
+  Printf.eprintf "%s\n" (Diag.to_string d)
 
 (* The error boundary wrapped around every subcommand body.  [Cmd.eval]
    only sees exit 0; failures leave through [exit] after printing
@@ -132,6 +138,33 @@ let timeout_arg =
 
 let deadline_of = Option.map (fun seconds -> Deadline.make ~seconds)
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a span timeline of the run and write it to $(docv) \
+                 as Chrome trace-event JSON on exit (open in \
+                 chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Collect pipeline counters and histograms and write them to \
+                 $(docv) as JSON on exit.")
+
+(* Exports run from [at_exit], so the files are written on every exit
+   path — success, error boundaries, and the --timeout exit-5 shortcut. *)
+let obs_setup trace metrics =
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Trace.enable ();
+      at_exit (fun () -> Trace.export_to_file path));
+  match metrics with
+  | None -> ()
+  | Some path ->
+      Metrics.enable ();
+      at_exit (fun () -> Metrics.export_to_file path)
+
 (* Run [one] over [runs] pre-split generator streams — across a domain pool
    when [jobs > 1] — and keep the best result by [cut_of], ties to the
    lowest run index.  A deadline is polled between sequential runs or
@@ -229,7 +262,8 @@ let write_assignment out side =
 
 let bipartition_cmd =
   let run input seed runs jobs ratio threshold tolerance engine out lenient
-      timeout =
+      timeout trace metrics =
+    obs_setup trace metrics;
     boundary @@ fun () ->
     let h = load_hypergraph ~lenient input seed in
     let rng = Rng.create seed in
@@ -277,12 +311,14 @@ let bipartition_cmd =
   let term =
     Term.(const run $ input_arg $ seed_arg $ runs_arg $ jobs_arg $ ratio_arg
           $ threshold_arg $ tolerance_arg $ engine_arg $ out_arg $ lenient_arg
-          $ timeout_arg)
+          $ timeout_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "bipartition" ~doc:"Min-cut 2-way partitioning (ML algorithm).") term
 
 let quadrisect_cmd =
-  let run input seed runs jobs ratio tolerance gordian out lenient timeout =
+  let run input seed runs jobs ratio tolerance gordian out lenient timeout
+      trace metrics =
+    obs_setup trace metrics;
     boundary @@ fun () ->
     let h = load_hypergraph ~lenient input seed in
     let rng = Rng.create seed in
@@ -322,12 +358,14 @@ let quadrisect_cmd =
   in
   let term =
     Term.(const run $ input_arg $ seed_arg $ runs_arg $ jobs_arg $ ratio_arg
-          $ tolerance_arg $ gordian_arg $ out_arg $ lenient_arg $ timeout_arg)
+          $ tolerance_arg $ gordian_arg $ out_arg $ lenient_arg $ timeout_arg
+          $ trace_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "quadrisect" ~doc:"4-way partitioning.") term
 
 let place_cmd =
-  let run input seed leaf terminal out svg lenient timeout =
+  let run input seed leaf terminal out svg lenient timeout trace metrics =
+    obs_setup trace metrics;
     boundary @@ fun () ->
     let h = load_hypergraph ~lenient input seed in
     let module T = Mlpart_placement.Topdown in
@@ -373,7 +411,7 @@ let place_cmd =
   in
   let term =
     Term.(const run $ input_arg $ seed_arg $ leaf_arg $ terminal_arg $ out_arg
-          $ svg_arg $ lenient_arg $ timeout_arg)
+          $ svg_arg $ lenient_arg $ timeout_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "place"
@@ -381,7 +419,8 @@ let place_cmd =
     term
 
 let generate_cmd =
-  let run circuit seed out =
+  let run circuit seed out trace metrics =
+    obs_setup trace metrics;
     boundary @@ fun () ->
     let spec =
       match Mlpart_gen.Suite.find circuit with
@@ -397,14 +436,18 @@ let generate_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"CIRCUIT" ~doc:"Table I circuit name (e.g. balu).")
   in
-  let term = Term.(const run $ circuit_arg $ seed_arg $ out_arg) in
+  let term =
+    Term.(const run $ circuit_arg $ seed_arg $ out_arg $ trace_arg
+          $ metrics_arg)
+  in
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Emit a synthetic Table I stand-in circuit in .hgr format.")
     term
 
 let evaluate_cmd =
-  let run input seed parts_path lenient =
+  let run input seed parts_path lenient trace metrics =
+    obs_setup trace metrics;
     boundary @@ fun () ->
     let h = load_hypergraph ~lenient input seed in
     let side = Mlpart_partition.Objective.read_assignment parts_path in
@@ -432,14 +475,16 @@ let evaluate_cmd =
          & info [] ~docv:"PARTS" ~doc:"Assignment file: one part id per line.")
   in
   let term =
-    Term.(const run $ input_arg $ seed_arg $ parts_arg $ lenient_arg)
+    Term.(const run $ input_arg $ seed_arg $ parts_arg $ lenient_arg
+          $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Score a saved part assignment (cut, SOED, areas).")
     term
 
 let info_cmd =
-  let run input seed lenient check =
+  let run input seed lenient check trace metrics =
+    obs_setup trace metrics;
     boundary @@ fun () ->
     let h = load_hypergraph ~lenient input seed in
     Format.printf "%a@?" Mlpart_hypergraph.Analysis.pp_report h;
@@ -468,7 +513,8 @@ let info_cmd =
                    pass would change; exit 4 if any invariant is violated.")
   in
   let term =
-    Term.(const run $ input_arg $ seed_arg $ lenient_arg $ check_arg)
+    Term.(const run $ input_arg $ seed_arg $ lenient_arg $ check_arg
+          $ trace_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "info" ~doc:"Print hypergraph statistics.") term
 

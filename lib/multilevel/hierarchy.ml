@@ -1,4 +1,13 @@
 module H = Mlpart_hypergraph.Hypergraph
+module Trace = Mlpart_obs.Trace
+module Metrics = Mlpart_obs.Metrics
+
+let m_levels = Metrics.counter "coarsen.levels"
+
+let h_shrink =
+  (* coarse modules as a percentage of fine modules, per level *)
+  Metrics.histogram "coarsen.shrink_pct"
+    ~buckets:[| 30; 40; 50; 55; 60; 65; 70; 80; 90; 100 |]
 
 type level = {
   netlist : H.t;
@@ -37,16 +46,42 @@ let build ~threshold ~ratio ~match_net_size ~merge_duplicates ~max_levels
         | Some f -> fun v -> f.(v) < 0
         | None -> fun _ -> true
       in
+      let n = H.num_modules h in
+      let t0 = Trace.start () in
       let cluster_of, k =
-        Match.run ~max_net_size:match_net_size ~matchable ?pair_ok
-          ~max_cluster_area rng h ~ratio
+        Trace.span ~cat:"coarsen" "coarsen/match" (fun () ->
+            Match.run ~max_net_size:match_net_size ~matchable ?pair_ok
+              ~max_cluster_area rng h ~ratio)
       in
-      if k >= H.num_modules h then
+      if k >= H.num_modules h then begin
+        (* matching found no reduction: the hierarchy stops here *)
+        Trace.instant ~cat:"coarsen"
+          ~args:[ ("level", Trace.Int depth); ("modules", Trace.Int n) ]
+          "coarsen/stall";
         { levels = List.rev acc; coarsest = h; coarsest_fixed = fixed }
+      end
       else begin
         let coarser, _ =
-          H.induce ~name:(H.name h) ~merge_duplicates ~arena h cluster_of
+          Trace.span ~cat:"coarsen" "coarsen/induce" (fun () ->
+              H.induce ~name:(H.name h) ~merge_duplicates ~arena h cluster_of)
         in
+        if Trace.enabled () then
+          Trace.complete ~cat:"coarsen"
+            ~args:
+              [
+                ("level", Trace.Int depth);
+                ("modules", Trace.Int n);
+                ("nets", Trace.Int (H.num_nets h));
+                ("pins", Trace.Int (H.num_pins h));
+                ("coarse_modules", Trace.Int k);
+                (* fraction of modules absorbed into pairs — the achieved
+                   matching ratio against the configured target R *)
+                ( "matched_ratio",
+                  Trace.Float (float_of_int (2 * (n - k)) /. float_of_int n) );
+              ]
+            "coarsen/level" t0;
+        Metrics.incr m_levels;
+        Metrics.observe h_shrink (100 * k / Stdlib.max 1 n);
         let coarser_fixed =
           Option.map (fun f -> project_fixed cluster_of k f) fixed
         in

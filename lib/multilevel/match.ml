@@ -1,5 +1,9 @@
 module H = Mlpart_hypergraph.Hypergraph
 module Rng = Mlpart_util.Rng
+module Metrics = Mlpart_obs.Metrics
+
+let m_pairs = Metrics.counter "match.pairs"
+let m_singletons = Metrics.counter "match.singletons"
 
 let run ?(max_net_size = 10) ?(matchable = fun _ -> true)
     ?(pair_ok = fun _ _ -> true) ?(max_cluster_area = max_int) rng h ~ratio =
@@ -71,4 +75,6 @@ let run ?(max_net_size = 10) ?(matchable = fun _ -> true)
       incr k
     end
   done;
+  Metrics.add m_pairs (!n_match / 2);
+  Metrics.add m_singletons (!k - (!n_match / 2));
   (cluster_of, !k)

@@ -2,12 +2,17 @@ module H = Mlpart_hypergraph.Hypergraph
 module Rng = Mlpart_util.Rng
 module Pool = Mlpart_util.Pool
 module Deadline = Mlpart_util.Deadline
-module Timer = Mlpart_util.Timer
+module Trace = Mlpart_obs.Trace
+module Metrics = Mlpart_obs.Metrics
 module Fm = Mlpart_partition.Fm
 
 let log_src = Logs.Src.create "mlpart.ml" ~doc:"multilevel driver traces"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_runs = Metrics.counter "ml.runs"
+let m_starts = Metrics.counter "ml.starts"
+let m_vcycles = Metrics.counter "ml.vcycles"
 
 type config = {
   threshold : int;
@@ -89,18 +94,27 @@ let partition_coarsest config ?init ?fixed ?pool ?arena rng coarsest =
 
 (* Uncoarsening: project and refine level by level (steps 7-9).  One arena
    serves every level: engine state is allocated once, at the finest
-   level's size, instead of rebuilt per level. *)
-let refine_up config ?phases ?arena rng hierarchy initial_side =
+   level's size, instead of rebuilt per level.  Each level gets a
+   [ml/refine_level] span — the single timing source the bench harness's
+   per-phase breakdown is derived from. *)
+let refine_up config ?arena rng hierarchy initial_side =
   List.fold_left
     (fun coarse_side { Hierarchy.netlist; cluster_of; fixed } ->
-      let started = Timer.now_wall () in
+      let t0 = Trace.start () in
       let projected = project cluster_of coarse_side in
       let refined =
         Fm.run ~config:config.engine ~init:projected ?fixed ?arena rng netlist
       in
-      (match phases with
-      | Some p -> Timer.add p Timer.Refine (Timer.now_wall () -. started)
-      | None -> ());
+      if Trace.enabled () then
+        Trace.complete ~cat:"ml"
+          ~args:
+            [
+              ("modules", Trace.Int (H.num_modules netlist));
+              ("cut", Trace.Int refined.Fm.cut);
+              ("passes", Trace.Int refined.Fm.passes);
+              ("moves", Trace.Int refined.Fm.moves);
+            ]
+          "ml/refine_level" t0;
       Log.debug (fun m ->
           m "refined level |V|=%d: projected cut %d -> %d (%d passes)"
             (H.num_modules netlist)
@@ -110,13 +124,11 @@ let refine_up config ?phases ?arena rng hierarchy initial_side =
     initial_side
     (List.rev hierarchy.Hierarchy.levels)
 
-let recorded phases phase f =
-  match phases with Some p -> Timer.record p phase f | None -> f ()
-
-let run ?(config = mlf) ?fixed ?pool ?phases ?arena rng h =
+let run ?(config = mlf) ?fixed ?pool ?arena rng h =
   let arena = match arena with Some a -> a | None -> Fm.create_arena ~h () in
   let hierarchy =
-    recorded phases Timer.Coarsen (fun () -> build_hierarchy config ?fixed rng h)
+    Trace.span ~cat:"ml" "ml/coarsen" (fun () ->
+        build_hierarchy config ?fixed rng h)
   in
   Log.debug (fun m ->
       m "%s: %d levels, coarsest |V|=%d (T=%d, R=%.2f)" (H.name h)
@@ -124,14 +136,15 @@ let run ?(config = mlf) ?fixed ?pool ?phases ?arena rng h =
         (H.num_modules hierarchy.Hierarchy.coarsest)
         config.threshold config.ratio);
   let initial =
-    recorded phases Timer.Initial (fun () ->
+    Trace.span ~cat:"ml" "ml/initial" (fun () ->
         partition_coarsest config ?fixed:hierarchy.Hierarchy.coarsest_fixed
           ?pool ~arena rng hierarchy.Hierarchy.coarsest)
   in
-  let side = refine_up config ?phases ~arena rng hierarchy initial.Fm.side in
-  (match phases with
-  | Some p -> Log.debug (fun m -> m "%s: %a" (H.name h) Timer.pp_phases p)
-  | None -> ());
+  let side =
+    Trace.span ~cat:"ml" "ml/refine" (fun () ->
+        refine_up config ~arena rng hierarchy initial.Fm.side)
+  in
+  Metrics.incr m_runs;
   {
     side;
     cut = Fm.cut_of h side;
@@ -143,10 +156,10 @@ let run ?(config = mlf) ?fixed ?pool ?phases ?arena rng h =
    same-side pairs (every cluster is side-pure, so the solution projects
    without loss), refine the projected solution at each level on the way
    back up. *)
-let vcycle config ?fixed ?phases ?arena rng h side =
+let vcycle config ?fixed ?arena rng h side =
   let pair_ok v w = side.(v) = side.(w) in
   let hierarchy =
-    recorded phases Timer.Coarsen (fun () ->
+    Trace.span ~cat:"ml" "ml/coarsen" (fun () ->
         build_hierarchy config ?fixed ~pair_ok rng h)
   in
   (* Restrict the side assignment down the hierarchy. *)
@@ -166,28 +179,52 @@ let vcycle config ?fixed ?phases ?arena rng h side =
       hierarchy.Hierarchy.levels
   in
   let initial =
-    recorded phases Timer.Initial (fun () ->
+    Trace.span ~cat:"ml" "ml/initial" (fun () ->
         Fm.run ~config:config.engine ~init:coarsest_side
           ?fixed:hierarchy.Hierarchy.coarsest_fixed ?arena rng
           hierarchy.Hierarchy.coarsest)
   in
-  refine_up config ?phases ?arena rng hierarchy initial.Fm.side
+  refine_up config ?arena rng hierarchy initial.Fm.side
 
-let run_vcycles ?(config = mlf) ?fixed ?pool ?phases ?arena ~cycles rng h =
+let run_vcycles ?(config = mlf) ?fixed ?pool ?arena ~cycles rng h =
   if cycles < 1 then invalid_arg "Ml.run_vcycles: cycles < 1";
   let arena = match arena with Some a -> a | None -> Fm.create_arena ~h () in
-  let first = run ~config ?fixed ?pool ?phases ~arena rng h in
+  let first = run ~config ?fixed ?pool ~arena rng h in
   let side = ref first.side in
   let cut = ref first.cut in
-  for _ = 2 to cycles do
-    let refined = vcycle config ?fixed ?phases ~arena rng h !side in
+  for cycle = 2 to cycles do
+    let t0 = Trace.start () in
+    let refined = vcycle config ?fixed ~arena rng h !side in
     let refined_cut = Fm.cut_of h refined in
+    if Trace.enabled () then
+      Trace.complete ~cat:"ml"
+        ~args:[ ("cycle", Trace.Int cycle); ("cut", Trace.Int refined_cut) ]
+        "ml/vcycle" t0;
+    Metrics.incr m_vcycles;
     if refined_cut <= !cut then begin
       side := refined;
       cut := refined_cut
     end
   done;
   { first with side = !side; cut = !cut }
+
+(* One multistart attempt, wrapped in its span; [index] is the start's
+   position in the pre-split generator sequence, so the span args are
+   identical however a pool scheduled it. *)
+let run_start config ?fixed ?arena ~cycles ~index rng h =
+  let t0 = Trace.start () in
+  let r = run_vcycles ~config ?fixed ?arena ~cycles rng h in
+  if Trace.enabled () then
+    Trace.complete ~cat:"ml"
+      ~args:
+        [
+          ("start", Trace.Int index);
+          ("cut", Trace.Int r.cut);
+          ("levels", Trace.Int r.levels);
+        ]
+      "ml/start" t0;
+  Metrics.incr m_starts;
+  r
 
 (* Independent multi-start: [starts] full ML (or V-cycle) runs from
    pre-split generator streams, keeping the lowest cut (ties to the lowest
@@ -197,18 +234,24 @@ let run_vcycles ?(config = mlf) ?fixed ?pool ?phases ?arena ~cycles rng h =
 let run_starts ?(config = mlf) ?fixed ?pool ?(cycles = 1) ?deadline ~starts rng h =
   if starts < 1 then invalid_arg "Ml.run_starts: starts < 1";
   let rngs = Array.init starts (fun _ -> Rng.split rng) in
+  let indexed = Array.mapi (fun i rng -> (i, rng)) rngs in
+  let one ?arena (i, rng) = run_start config ?fixed ?arena ~cycles ~index:i rng h in
   let results =
     match deadline with
     | None -> (
         match pool with
         | Some pool when Pool.size pool > 1 && starts > 1 ->
             (* each pooled start builds its own arena inside run_vcycles *)
-            Pool.map pool (fun rng -> run_vcycles ~config ?fixed ~cycles rng h) rngs
+            Trace.span ~cat:"ml"
+              ~args:(fun () -> [ ("starts", Trace.Int starts) ])
+              "ml/starts"
+              (fun () -> Pool.map pool one indexed)
         | Some _ | None ->
             let arena = Fm.create_arena ~h () in
-            Array.map
-              (fun rng -> run_vcycles ~config ?fixed ~arena ~cycles rng h)
-              rngs)
+            Trace.span ~cat:"ml"
+              ~args:(fun () -> [ ("starts", Trace.Int starts) ])
+              "ml/starts"
+              (fun () -> Array.map (one ~arena) indexed))
     | Some dl ->
         (* Cooperative timeout: starts run in waves (one per pool pass, or
            singly when sequential) with the deadline polled between waves.
@@ -221,20 +264,23 @@ let run_starts ?(config = mlf) ?fixed ?pool ?(cycles = 1) ?deadline ~starts rng 
         let arena = if wave = 1 then Some (Fm.create_arena ~h ()) else None in
         let acc = ref [] in
         let completed = ref 0 in
+        let wave_index = ref 0 in
         while
           !completed < starts && (!completed = 0 || not (Deadline.check dl))
         do
           let n = Stdlib.min wave (starts - !completed) in
-          let batch = Array.sub rngs !completed n in
+          let batch = Array.sub indexed !completed n in
+          let t0 = Trace.start () in
           let res =
             match pool with
-            | Some p when Pool.size p > 1 && n > 1 ->
-                Pool.map p (fun rng -> run_vcycles ~config ?fixed ~cycles rng h) batch
-            | _ ->
-                Array.map
-                  (fun rng -> run_vcycles ~config ?fixed ?arena ~cycles rng h)
-                  batch
+            | Some p when Pool.size p > 1 && n > 1 -> Pool.map p one batch
+            | _ -> Array.map (fun iv -> one ?arena iv) batch
           in
+          if Trace.enabled () then
+            Trace.complete ~cat:"ml"
+              ~args:[ ("wave", Trace.Int !wave_index); ("starts", Trace.Int n) ]
+              "ml/wave" t0;
+          incr wave_index;
           acc := res :: !acc;
           completed := !completed + n
         done;

@@ -41,7 +41,6 @@ val run :
   ?config:config ->
   ?fixed:int array ->
   ?pool:Mlpart_util.Pool.t ->
-  ?phases:Mlpart_util.Timer.phases ->
   ?arena:Mlpart_partition.Fm.arena ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
@@ -55,9 +54,10 @@ val run :
     each start draws from its own generator pre-split from [rng], so the
     cut is identical for any pool size (and for no pool at all).
 
-    [phases] accumulates the per-phase wall-time breakdown
-    (coarsen / initial / refine-per-level); see
-    {!Mlpart_util.Timer.phases}.
+    When {!Mlpart_obs.Trace} is enabled the run emits [ml/coarsen],
+    [ml/initial], [ml/refine] and per-level [ml/refine_level] spans — the
+    per-phase breakdown that used to be a separate timer is derived from
+    these.
 
     [arena] is reusable FM engine scratch shared by the initial partition
     and every refinement level; without it one is created per call, sized
@@ -68,7 +68,6 @@ val run_vcycles :
   ?config:config ->
   ?fixed:int array ->
   ?pool:Mlpart_util.Pool.t ->
-  ?phases:Mlpart_util.Timer.phases ->
   ?arena:Mlpart_partition.Fm.arena ->
   cycles:int ->
   Mlpart_util.Rng.t ->
@@ -122,7 +121,6 @@ val project : int array -> int array -> int array
 
 val refine_up :
   config ->
-  ?phases:Mlpart_util.Timer.phases ->
   ?arena:Mlpart_partition.Fm.arena ->
   Mlpart_util.Rng.t ->
   Hierarchy.t ->

@@ -1,6 +1,10 @@
 module H = Mlpart_hypergraph.Hypergraph
 module Builder = Mlpart_hypergraph.Builder
 module Rng = Mlpart_util.Rng
+module Trace = Mlpart_obs.Trace
+module Metrics = Mlpart_obs.Metrics
+
+let m_bisections = Metrics.counter "rb.bisections"
 
 type config = { ml : Ml.config; keep_cut_nets : bool }
 
@@ -52,6 +56,8 @@ let run ?(config = default) rng h ~k =
       Array.iter (fun v -> part.(v) <- lo) members
     else begin
       incr bisections;
+      Metrics.incr m_bisections;
+      let t0 = Trace.start () in
       let sub = sub_netlist ~keep_cut_nets:config.keep_cut_nets h members in
       let side =
         if H.num_nets sub = 0 then
@@ -59,6 +65,14 @@ let run ?(config = default) rng h ~k =
           Array.init (Array.length members) (fun i -> i land 1)
         else (Ml.run ~config:config.ml ~arena rng sub).Ml.side
       in
+      if Trace.enabled () then
+        Trace.complete ~cat:"rb"
+          ~args:
+            [
+              ("members", Trace.Int (Array.length members));
+              ("parts", Trace.Int parts);
+            ]
+          "rb/bisect" t0;
       let left = ref [] and right = ref [] in
       for i = Array.length members - 1 downto 0 do
         if side.(i) = 0 then left := members.(i) :: !left

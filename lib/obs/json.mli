@@ -1,0 +1,33 @@
+(** Minimal JSON core for the observability exports.
+
+    The trace and metrics subsystems render through this one value type so
+    their files are well-formed by construction, and tests parse the
+    exports back to validate them against a schema — without pulling a
+    JSON dependency into the library.  Only what the exports need is
+    implemented: UTF-8 passthrough strings with standard escapes, exact
+    integers, finite floats (non-finite values render as [null]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Render as JSON text.  [indent] (default true) pretty-prints with
+    two-space indentation; keys keep the order of the [Obj] list, so a
+    sorted input renders deterministically. *)
+
+val of_string : string -> (t, string) result
+(** Strict recursive-descent parser for the subset above.  Numbers with a
+    fraction or exponent parse as [Float], the rest as [Int].  Rejects
+    trailing garbage.  Errors carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing keys or non-objects. *)
+
+val to_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline. *)

@@ -1,0 +1,206 @@
+module Stats = Mlpart_util.Stats
+module Diag = Mlpart_util.Diag
+
+(* One flag gates every registry: the pipeline's instrument handles all
+   live in [default], and tests that build private registries still want
+   the same on/off behaviour. *)
+let on = Atomic.make false
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+type counter = int Atomic.t
+
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : int array; (* strictly increasing inclusive upper bounds *)
+  counts : int Atomic.t array; (* length bounds + 1; last is +Inf *)
+  sum : int Atomic.t;
+  sumsq : int Atomic.t;
+  total : int Atomic.t;
+  mn : int Atomic.t;
+  mx : int Atomic.t;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { items : (string, instrument) Hashtbl.t; mutex : Mutex.t }
+
+let create () = { items = Hashtbl.create 64; mutex = Mutex.create () }
+let default = create ()
+
+(* Find-or-create under the registry mutex; updates themselves never take
+   it.  Handles are expected to be created once at module initialisation
+   of the instrumented code, so contention here is immaterial. *)
+let intern ?(registry = default) name build describe =
+  Mutex.lock registry.mutex;
+  let i =
+    match Hashtbl.find_opt registry.items name with
+    | Some i -> i
+    | None ->
+        let i = build () in
+        Hashtbl.add registry.items name i;
+        i
+  in
+  Mutex.unlock registry.mutex;
+  match describe i with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S already registered as another kind" name)
+
+let counter ?registry name =
+  intern ?registry name
+    (fun () -> C (Atomic.make 0))
+    (function C c -> Some c | G _ | H _ -> None)
+
+let incr c = if Atomic.get on then Atomic.incr c
+let add c v = if Atomic.get on then ignore (Atomic.fetch_and_add c v)
+let counter_value c = Atomic.get c
+
+let gauge ?registry name =
+  intern ?registry name
+    (fun () -> G { g = 0.0 })
+    (function G g -> Some g | C _ | H _ -> None)
+
+let set_gauge g v = if Atomic.get on then g.g <- v
+let gauge_value g = g.g
+
+let default_buckets = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 |]
+
+let make_histogram bounds =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    bounds;
+  {
+    bounds = Array.copy bounds;
+    counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+    sum = Atomic.make 0;
+    sumsq = Atomic.make 0;
+    total = Atomic.make 0;
+    mn = Atomic.make max_int;
+    mx = Atomic.make min_int;
+  }
+
+let histogram ?registry ?(buckets = default_buckets) name =
+  intern ?registry name
+    (fun () -> H (make_histogram buckets))
+    (function H h -> Some h | C _ | G _ -> None)
+
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let bucket_of h v =
+  let k = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < k && v > h.bounds.(!i) do
+    Stdlib.incr i
+  done;
+  !i
+
+let observe h v =
+  if Atomic.get on then begin
+    ignore (Atomic.fetch_and_add h.counts.(bucket_of h v) 1);
+    ignore (Atomic.fetch_and_add h.sum v);
+    ignore (Atomic.fetch_and_add h.sumsq (v * v));
+    ignore (Atomic.fetch_and_add h.total 1);
+    atomic_min h.mn v;
+    atomic_max h.mx v
+  end
+
+let histogram_count h = Atomic.get h.total
+let histogram_sum h = Atomic.get h.sum
+
+let count_named ?registry name v = add (counter ?registry name) v
+let observe_named ?registry name v = observe (histogram ?registry name) v
+
+let record_diag ?registry d =
+  let sev = match d.Diag.severity with Diag.Warning -> "warning" | Diag.Error -> "error" in
+  let name = Printf.sprintf "diag.%s.%s" sev (Diag.code_name d.Diag.code) in
+  ignore (Atomic.fetch_and_add (counter ?registry name) 1)
+
+let reset ?(registry = default) () =
+  Mutex.lock registry.mutex;
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | C c -> Atomic.set c 0
+      | G g -> g.g <- 0.0
+      | H h ->
+          Array.iter (fun c -> Atomic.set c 0) h.counts;
+          Atomic.set h.sum 0;
+          Atomic.set h.sumsq 0;
+          Atomic.set h.total 0;
+          Atomic.set h.mn max_int;
+          Atomic.set h.mx min_int)
+    registry.items;
+  Mutex.unlock registry.mutex
+
+let histogram_json h =
+  let n = Atomic.get h.total in
+  let sum = Atomic.get h.sum in
+  let buckets =
+    List.init
+      (Array.length h.counts)
+      (fun i ->
+        let le =
+          if i < Array.length h.bounds then Json.Int h.bounds.(i)
+          else Json.Str "+Inf"
+        in
+        Json.Obj [ ("le", le); ("count", Json.Int (Atomic.get h.counts.(i))) ])
+  in
+  Json.Obj
+    [
+      ("buckets", Json.List buckets);
+      ("count", Json.Int n);
+      ("sum", Json.Int sum);
+      ("min", Json.Int (if n = 0 then 0 else Atomic.get h.mn));
+      ("max", Json.Int (if n = 0 then 0 else Atomic.get h.mx));
+      ( "mean",
+        Json.Float (if n = 0 then 0.0 else float_of_int sum /. float_of_int n) );
+      ( "std",
+        (* single-sample and empty histograms export 0., never nan — the
+           Stats guard is the one shared implementation of that rule *)
+        Json.Float
+          (Stats.std_of_moments ~n ~sum:(float_of_int sum)
+             ~sumsq:(float_of_int (Atomic.get h.sumsq))) );
+    ]
+
+let to_json ?(registry = default) () =
+  Mutex.lock registry.mutex;
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry.items [] in
+  Mutex.unlock registry.mutex;
+  let items = List.sort (fun (a, _) (b, _) -> String.compare a b) items in
+  let pick f = List.filter_map f items in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (pick (function
+            | k, C c -> Some (k, Json.Int (Atomic.get c))
+            | _ -> None)) );
+      ( "gauges",
+        Json.Obj
+          (pick (function k, G g -> Some (k, Json.Float g.g) | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (pick (function k, H h -> Some (k, histogram_json h) | _ -> None)) );
+    ]
+
+let export ?registry () = Json.to_string (to_json ?registry ())
+let export_to_file ?registry path = Json.to_file path (to_json ?registry ())
+
+(* Metrics half of the util-layer probe seam (see {!Trace} for the trace
+   half): Pool counts chunks and queue depths through these refs. *)
+let () =
+  Mlpart_util.Probe.metrics_on := enabled;
+  Mlpart_util.Probe.count := (fun name v -> count_named name v);
+  Mlpart_util.Probe.observe := (fun name v -> observe_named name v)

@@ -1,0 +1,94 @@
+(** Metrics: a registry of named counters, gauges and fixed-bucket
+    histograms with a stable JSON export.
+
+    Instruments are created once (typically as module-level bindings at
+    the instrumentation site) and updated through their handle; creation
+    is idempotent — the same name returns the same instrument.  Updates
+    are atomic, so recordings from {!Mlpart_util.Pool} worker domains
+    aggregate to the same totals as a sequential run: counter and
+    histogram contents are deterministic for any [--jobs] value as long
+    as the recorded values themselves are (gauges are last-writer-wins).
+
+    Like {!Trace}, recording is gated on one atomic flag ({!enable});
+    disabled updates cost a flag read and a branch, nothing else.
+
+    The export (see {!to_json}) sorts instruments by name:
+
+{v
+{ "counters":   {"fm.moves": 814, ...},
+  "gauges":     {"pool.size": 4.0, ...},
+  "histograms": {"fm.move_gain": {"buckets": [{"le": -1, "count": 2}, ...,
+                                              {"le": "+Inf", "count": 0}],
+                                  "count": 57, "sum": 123, "min": -3,
+                                  "max": 9, "mean": 2.16, "std": 1.41}}}
+v} *)
+
+type t
+(** A registry.  Most callers use {!default}. *)
+
+val create : unit -> t
+val default : t
+
+val enable : unit -> unit
+(** Turn recording on (all registries share the one flag). *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : ?registry:t -> string -> counter
+(** Find or create.  Raises [Invalid_argument] if the name is already an
+    instrument of another kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : ?registry:t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type histogram
+
+val histogram : ?registry:t -> ?buckets:int array -> string -> histogram
+(** [buckets] are strictly increasing inclusive upper bounds; an implicit
+    [+Inf] bucket catches the rest.  The default is powers of two from 1
+    to 4096.  A second call with a different [buckets] returns the
+    existing instrument unchanged. *)
+
+val observe : histogram -> int -> unit
+(** Count [v] into its bucket and fold it into sum/min/max.  Values are
+    integers by design: integer moments aggregate associatively, which is
+    what keeps multi-domain recording deterministic. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+(** {1 Dynamic (name-keyed) recording} *)
+
+val count_named : ?registry:t -> string -> int -> unit
+(** Find-or-create the counter and add; for call sites that cannot hold a
+    handle (e.g. the {!Mlpart_util.Probe} seam). *)
+
+val observe_named : ?registry:t -> string -> int -> unit
+(** Find-or-create with default buckets and observe. *)
+
+val record_diag : ?registry:t -> Mlpart_util.Diag.t -> unit
+(** Count a diagnostic as [diag.<severity>.<code-name>] — lenient-parse
+    repairs and runtime warnings become visible in the metrics export.
+    Unlike instrument updates this is not gated on {!enabled}, so
+    diagnostics emitted before the CLI parses [--metrics] still count. *)
+
+(** {1 Export} *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every instrument in place; handles stay valid. *)
+
+val to_json : ?registry:t -> unit -> Json.t
+val export : ?registry:t -> unit -> string
+val export_to_file : ?registry:t -> string -> unit

@@ -1,5 +1,29 @@
 module H = Mlpart_hypergraph.Hypergraph
 module Rng = Mlpart_util.Rng
+module Trace = Mlpart_obs.Trace
+module Metrics = Mlpart_obs.Metrics
+
+(* Per-pass engine telemetry.  Handles are created once here; every
+   recording call below is gated on the metrics/trace flag, so a run with
+   observability off pays one predictable branch per move (the gain
+   histogram) and a handful per pass. *)
+let m_runs = Metrics.counter "fm.runs"
+let m_passes = Metrics.counter "fm.passes"
+let m_moves = Metrics.counter "fm.moves"
+let m_backtracks = Metrics.counter "fm.backtracks"
+
+let h_move_gain =
+  (* signed: the negative buckets are the tolerated downhill moves, the
+     positive ones the recovered gains *)
+  Metrics.histogram "fm.move_gain"
+    ~buckets:[| -64; -16; -4; -2; -1; 0; 1; 2; 4; 16; 64 |]
+
+let h_rollback =
+  Metrics.histogram "fm.rollback_depth"
+    ~buckets:[| 0; 1; 2; 4; 8; 16; 32; 64; 128; 256; 1024 |]
+
+let h_passes_per_run =
+  Metrics.histogram "fm.passes_per_run" ~buckets:[| 1; 2; 3; 4; 6; 8; 12; 16 |]
 
 type tie_break = Plain | Lookahead of int
 
@@ -442,6 +466,7 @@ let run_pass st =
         st.order.(!moved) <- v;
         incr moved;
         cum := !cum + g;
+        Metrics.observe h_move_gain g;
         if !cum > !best then begin
           best := !cum;
           best_count := !moved
@@ -455,6 +480,7 @@ let run_pass st =
           | Some (window, limit) when non_improving >= window && !backtracks < limit
             ->
               incr backtracks;
+              Metrics.incr m_backtracks;
               (* Undo the losing streak, freeze its first module, rebuild. *)
               let first_bad = st.order.(!best_count) in
               for i = !moved - 1 downto !best_count do
@@ -476,7 +502,8 @@ let run_pass st =
         end
     end
   done;
-  (* Keep only the best prefix. *)
+  (* Keep only the best prefix; what gets undone is the rollback depth. *)
+  Metrics.observe h_rollback (!moved - !best_count);
   for i = !moved - 1 downto !best_count do
     unmove st st.order.(i)
   done;
@@ -568,11 +595,26 @@ let run ?(config = default) ?init ?fixed ?arena rng h =
   let moves = ref 0 in
   let improving = ref true in
   while !improving && !passes < config.max_passes do
+    let t0 = Trace.start () in
     let pass_gain, pass_moves = run_pass st in
     incr passes;
     moves := !moves + pass_moves;
+    if Trace.enabled () then
+      Trace.complete ~cat:"fm"
+        ~args:
+          [
+            ("pass", Trace.Int !passes);
+            ("gain", Trace.Int pass_gain);
+            ("moves", Trace.Int pass_moves);
+            ("modules", Trace.Int n);
+          ]
+        "fm/pass" t0;
     if pass_gain <= 0 then improving := false
   done;
+  Metrics.incr m_runs;
+  Metrics.add m_passes !passes;
+  Metrics.add m_moves !moves;
+  Metrics.observe h_passes_per_run !passes;
   {
     side = Bipartition.side_array st.bp;
     (* Passes maintain pin counts but stage side flips without touching the

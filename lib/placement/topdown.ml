@@ -2,6 +2,11 @@ module H = Mlpart_hypergraph.Hypergraph
 module Builder = Mlpart_hypergraph.Builder
 module Rng = Mlpart_util.Rng
 module Ml_multiway = Mlpart_multilevel.Ml_multiway
+module Trace = Mlpart_obs.Trace
+module Metrics = Mlpart_obs.Metrics
+
+let m_regions = Metrics.counter "place.regions"
+let m_leaves = Metrics.counter "place.leaves"
 
 type terminal_model = Ignore_external | Propagate_to_quadrant
 
@@ -186,15 +191,19 @@ let run ?(config = default) ?deadline rng h =
   in
   let regions = ref 0 in
   let die = { x0 = 0.0; y0 = 0.0; x1 = 1.0; y1 = 1.0 } in
-  let rec refine region members =
-    if Array.length members <= config.leaf_size then
+  let rec refine depth region members =
+    if Array.length members <= config.leaf_size then begin
+      Metrics.incr m_leaves;
       place_leaf x y region members
+    end
     else if past_deadline () then
       (* graceful degradation: no further quadrisection — spread the whole
          region like a leaf so every module still gets a legal coordinate *)
       place_leaf x y region members
     else begin
       incr regions;
+      Metrics.incr m_regions;
+      let t0 = Trace.start () in
       (* provisional positions: everyone at the region centre, so sibling
          regions see a sensible location for not-yet-refined modules *)
       let cx, cy = centre region in
@@ -230,12 +239,22 @@ let run ?(config = default) ?deadline rng h =
             placed.(v) <- true)
           buckets.(q)
       done;
+      (* span closes before recursing, so region timings are per-region
+         quadrisection cost, not inclusive of the whole subtree *)
+      if Trace.enabled () then
+        Trace.complete ~cat:"place"
+          ~args:
+            [
+              ("depth", Trace.Int depth);
+              ("members", Trace.Int (Array.length members));
+            ]
+          "place/region" t0;
       for q = 0 to 3 do
-        refine (quadrant_region region q) (Array.of_list buckets.(q))
+        refine (depth + 1) (quadrant_region region q) (Array.of_list buckets.(q))
       done
     end
   in
-  refine die movable;
+  refine 0 die movable;
   {
     x;
     y;

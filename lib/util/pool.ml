@@ -77,6 +77,8 @@ let shutdown t =
 let run_job t job =
   if t.size = 1 then job t.epoch
   else begin
+    let t0 = Probe.begin_span () in
+    if Probe.recording () then Probe.add "pool.jobs" 1;
     Mutex.lock t.mutex;
     if t.stopping then begin
       Mutex.unlock t.mutex;
@@ -97,6 +99,9 @@ let run_job t job =
     let err = t.error in
     t.error <- None;
     Mutex.unlock t.mutex;
+    if t0 <> 0 then
+      Probe.end_span ~cat:"pool" ~name:"pool/job" ~t0
+        ~args:[ ("participants", t.size) ];
     match err with Some exn -> raise exn | None -> ()
   end
 
@@ -113,6 +118,15 @@ let parallel_for ?chunk t ~start ~stop ~body =
       | Some c -> Stdlib.max 1 c
       | None -> Stdlib.max 1 (len / (4 * t.size))
     in
+    (* Queue occupancy and chunking choices are recorded per call; chunk
+       execution gets a span and a duration sample.  All of it is probed
+       through {!Probe}, so a build without the obs layer (or with
+       tracing/metrics off) pays one function-reference call per chunk. *)
+    if Probe.recording () then begin
+      Probe.add "pool.parallel_for" 1;
+      Probe.sample "pool.queue_depth" ((len + chunk - 1) / chunk);
+      Probe.sample "pool.chunk_size" chunk
+    end;
     let next = Atomic.make start in
     (* Shared cancellation flag: the first chunk whose body raises flips it,
        and every participant (including the raiser's siblings mid-job) stops
@@ -126,10 +140,15 @@ let parallel_for ?chunk t ~start ~stop ~body =
           if lo >= stop then continue := false
           else begin
             let hi = Stdlib.min stop (lo + chunk) in
+            let t0 = Probe.begin_span () in
+            if Probe.recording () then Probe.add "pool.chunks" 1;
             try
               for i = lo to hi - 1 do
                 body i
-              done
+              done;
+              if t0 <> 0 then
+                Probe.end_span ~cat:"pool" ~name:"pool/chunk" ~t0
+                  ~args:[ ("lo", lo); ("hi", hi) ]
             with exn ->
               Atomic.set cancelled true;
               raise exn

@@ -1,0 +1,16 @@
+let trace_on : (unit -> bool) ref = ref (fun () -> false)
+let metrics_on : (unit -> bool) ref = ref (fun () -> false)
+let span_begin : (unit -> int) ref = ref (fun () -> 0)
+
+let span_end :
+    (cat:string -> name:string -> t0:int -> args:(string * int) list -> unit) ref =
+  ref (fun ~cat:_ ~name:_ ~t0:_ ~args:_ -> ())
+
+let count : (string -> int -> unit) ref = ref (fun _ _ -> ())
+let observe : (string -> int -> unit) ref = ref (fun _ _ -> ())
+let tracing () = !trace_on ()
+let recording () = !metrics_on ()
+let begin_span () = !span_begin ()
+let end_span ~cat ~name ~t0 ~args = !span_end ~cat ~name ~t0 ~args
+let add name v = !count name v
+let sample name v = !observe name v

@@ -1,0 +1,37 @@
+(** Instrumentation seam between util internals and the observability
+    layer.
+
+    [Mlpart_util] sits below [Mlpart_obs], so {!Pool} cannot call the
+    trace/metrics recorders directly.  Instead it records through these
+    function references, which default to null sinks; [Mlpart_obs.Trace]
+    and [Mlpart_obs.Metrics] install themselves here at module
+    initialisation whenever they are linked into the program.  An
+    executable that never links the obs layer pays one reference call per
+    probe site and records nothing. *)
+
+val trace_on : (unit -> bool) ref
+val metrics_on : (unit -> bool) ref
+
+val span_begin : (unit -> int) ref
+(** Monotonic nanosecond timestamp, or [0] when tracing is disabled. *)
+
+val span_end :
+  (cat:string -> name:string -> t0:int -> args:(string * int) list -> unit) ref
+(** Record a complete span from a {!span_begin} token.  Only call when
+    [t0 <> 0] so the [args] list is never built on the disabled path. *)
+
+val count : (string -> int -> unit) ref
+(** Add to a named counter. *)
+
+val observe : (string -> int -> unit) ref
+(** Observe into a named histogram (default buckets). *)
+
+(** Convenience wrappers used by instrumented util code. *)
+
+val tracing : unit -> bool
+val recording : unit -> bool
+
+val begin_span : unit -> int
+val end_span : cat:string -> name:string -> t0:int -> args:(string * int) list -> unit
+val add : string -> int -> unit
+val sample : string -> int -> unit

@@ -36,7 +36,23 @@ let mean t =
   ensure_nonempty t "mean";
   t.mean
 
-let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int t.n)
+(* Guarded against the two ways this can go [nan]: fewer than two samples
+   (m2 meaningless) and cancellation driving m2 fractionally negative. *)
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let v = t.m2 /. float_of_int t.n in
+    if v > 0.0 then sqrt v else 0.0
+
+let std = stddev
+
+let std_of_moments ~n ~sum ~sumsq =
+  if n < 2 then 0.0
+  else
+    let nf = float_of_int n in
+    let mean = sum /. nf in
+    let v = (sumsq /. nf) -. (mean *. mean) in
+    if v > 0.0 then sqrt v else 0.0
 
 let of_list xs =
   let t = create () in

@@ -24,8 +24,19 @@ val mean : t -> float
 (** Arithmetic mean; raises [Invalid_argument] when empty. *)
 
 val stddev : t -> float
-(** Population standard deviation (the paper reports spread of all runs);
-    0 for fewer than two observations. *)
+(** Population standard deviation (the paper reports spread of all runs).
+    Never [nan]: single-sample and empty accumulators return [0.], and
+    floating-point cancellation that drives the running second moment
+    fractionally negative is clamped to [0.] before the square root. *)
+
+val std : t -> float
+(** Alias of {!stddev}. *)
+
+val std_of_moments : n:int -> sum:float -> sumsq:float -> float
+(** Population standard deviation from raw moments, with the same
+    guarantees as {!stddev} ([0.] for [n < 2], clamped against
+    cancellation).  The metrics histograms aggregate integer moments
+    across domains and reuse this path at export time. *)
 
 val of_list : float list -> t
 

@@ -8,53 +8,11 @@ let time f =
   let result = f () in
   (result, now () -. start)
 
-(* Wall-clock time for phase breakdowns: with worker domains running,
-   process CPU time double-counts, so latency accounting uses the real
-   clock. *)
+(* Wall-clock time for latency accounting: with worker domains running,
+   process CPU time double-counts, so latency uses the real clock. *)
 let now_wall () = Unix.gettimeofday ()
 
 let time_wall f =
   let start = now_wall () in
   let result = f () in
   (result, now_wall () -. start)
-
-(* Per-phase accumulators for the multilevel pipeline. *)
-
-type phase = Coarsen | Initial | Refine
-
-type phases = {
-  mutable coarsen : float;
-  mutable initial : float;
-  mutable refine : float;
-  mutable refine_levels : int;
-}
-
-let phases_create () =
-  { coarsen = 0.0; initial = 0.0; refine = 0.0; refine_levels = 0 }
-
-let phases_reset p =
-  p.coarsen <- 0.0;
-  p.initial <- 0.0;
-  p.refine <- 0.0;
-  p.refine_levels <- 0
-
-let add p phase dt =
-  match phase with
-  | Coarsen -> p.coarsen <- p.coarsen +. dt
-  | Initial -> p.initial <- p.initial +. dt
-  | Refine ->
-      p.refine <- p.refine +. dt;
-      p.refine_levels <- p.refine_levels + 1
-
-let record p phase f =
-  let start = now_wall () in
-  let result = f () in
-  add p phase (now_wall () -. start);
-  result
-
-let total p = p.coarsen +. p.initial +. p.refine
-
-let pp_phases ppf p =
-  Format.fprintf ppf
-    "coarsen %.4fs, initial %.4fs, refine %.4fs over %d levels (total %.4fs)"
-    p.coarsen p.initial p.refine p.refine_levels (total p)

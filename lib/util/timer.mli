@@ -1,5 +1,8 @@
-(** CPU and wall timing, plus per-phase accumulators for the multilevel
-    pipeline (coarsen / initial partition / refine). *)
+(** CPU and wall timing primitives.
+
+    Per-phase pipeline accounting lives in the observability layer
+    ([Mlpart_obs.Trace] spans) — this module is only the raw clocks used
+    by the experiment harness's CPU-seconds columns. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
@@ -14,29 +17,3 @@ val now_wall : unit -> float
 
 val time_wall : (unit -> 'a) -> 'a * float
 (** Like {!time} with the wall clock. *)
-
-(** {1 Phase accounting} *)
-
-type phase = Coarsen | Initial | Refine
-
-type phases = {
-  mutable coarsen : float;  (** clustering + induce, all levels *)
-  mutable initial : float;  (** coarsest-netlist partitioning *)
-  mutable refine : float;  (** projection + FM refinement, all levels *)
-  mutable refine_levels : int;  (** refinement level count accumulated *)
-}
-
-val phases_create : unit -> phases
-val phases_reset : phases -> unit
-
-val add : phases -> phase -> float -> unit
-(** Accumulate [dt] wall seconds against a phase.  [Refine] also bumps
-    [refine_levels], so it is called once per refined level. *)
-
-val record : phases -> phase -> (unit -> 'a) -> 'a
-(** [record p phase f] runs [f] and charges its wall time to [phase]. *)
-
-val total : phases -> float
-
-val pp_phases : Format.formatter -> phases -> unit
-(** One-line breakdown, e.g. for [Logs] debug output. *)

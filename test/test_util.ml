@@ -104,7 +104,24 @@ let test_stats_single () =
   check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean s);
   check (Alcotest.float 1e-9) "min" 5.0 (Stats.min s);
   check (Alcotest.float 1e-9) "max" 5.0 (Stats.max s);
-  check (Alcotest.float 1e-9) "std" 0.0 (Stats.stddev s)
+  (* a single sample must give std = 0, never nan *)
+  check (Alcotest.float 1e-9) "std" 0.0 (Stats.stddev s);
+  check (Alcotest.float 1e-9) "std alias" 0.0 (Stats.std s);
+  check Alcotest.bool "std is finite" true (Float.is_finite (Stats.std s))
+
+let test_stats_std_of_moments () =
+  (* one sample: n < 2 guard, not nan *)
+  let s1 = Stats.std_of_moments ~n:1 ~sum:5.0 ~sumsq:25.0 in
+  check (Alcotest.float 1e-9) "single-sample moments" 0.0 s1;
+  check Alcotest.bool "finite" true (Float.is_finite s1);
+  (* identical samples: cancellation leaves at most rounding noise, and a
+     slightly negative variance is clamped rather than producing nan *)
+  let s = Stats.std_of_moments ~n:3 ~sum:0.3 ~sumsq:0.03 in
+  check Alcotest.bool "identical samples finite" true (Float.is_finite s);
+  check (Alcotest.float 1e-6) "identical samples near zero" 0.0 s;
+  (* known population std: {2,4,4,4,5,5,7,9} has std 2 *)
+  check (Alcotest.float 1e-9) "known population" 2.0
+    (Stats.std_of_moments ~n:8 ~sum:40.0 ~sumsq:232.0)
 
 let test_stats_known () =
   let s = Stats.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
@@ -168,20 +185,6 @@ let test_timer_returns_result () =
   let value, elapsed = Mlpart_util.Timer.time (fun () -> 6 * 7) in
   check Alcotest.int "result" 42 value;
   check Alcotest.bool "non-negative" true (elapsed >= 0.0)
-
-let test_timer_phases () =
-  let module Timer = Mlpart_util.Timer in
-  let p = Timer.phases_create () in
-  let v = Timer.record p Timer.Coarsen (fun () -> 21 * 2) in
-  check Alcotest.int "record passes result" 42 v;
-  ignore (Timer.record p Timer.Refine (fun () -> ()));
-  ignore (Timer.record p Timer.Refine (fun () -> ()));
-  check Alcotest.int "refine levels counted" 2 p.Timer.refine_levels;
-  check Alcotest.bool "total sums phases" true
-    (Timer.total p >= p.Timer.coarsen && Timer.total p >= 0.0);
-  Timer.phases_reset p;
-  check Alcotest.int "reset clears levels" 0 p.Timer.refine_levels;
-  check (Alcotest.float 0.0) "reset clears time" 0.0 (Timer.total p)
 
 (* ---- Pool ---- *)
 
@@ -326,6 +329,7 @@ let () =
         [
           Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
           Alcotest.test_case "single value" `Quick test_stats_single;
+          Alcotest.test_case "std of moments" `Quick test_stats_std_of_moments;
           Alcotest.test_case "known dataset" `Quick test_stats_known;
           Alcotest.test_case "summary" `Quick test_stats_summary;
           qtest prop_stats_matches_naive;
@@ -340,7 +344,6 @@ let () =
       ( "timer",
         [
           Alcotest.test_case "returns result" `Quick test_timer_returns_result;
-          Alcotest.test_case "phase accounting" `Quick test_timer_phases;
         ] );
       ( "pool",
         [
