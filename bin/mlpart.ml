@@ -7,6 +7,7 @@
      generate     emit a synthetic benchmark in .hgr format
      evaluate     score a saved part assignment against a netlist
      info         print hypergraph statistics
+     selfcheck    run the property-based verification suite
 
    Every subcommand runs inside an error boundary: library failures
    surface as one structured diagnostic line per issue on stderr and a
@@ -518,6 +519,111 @@ let info_cmd =
   in
   Cmd.v (Cmd.info "info" ~doc:"Print hypergraph statistics.") term
 
+let selfcheck_cmd =
+  let module Sc = Mlpart_check.Selfcheck in
+  let module Prop = Mlpart_check.Property in
+  let run seed cases max_size replay failures_path list_props trace metrics =
+    obs_setup trace metrics;
+    boundary @@ fun () ->
+    if list_props then
+      List.iter print_endline (Sc.property_names ())
+    else begin
+      let cases = match cases with Some n -> n | None -> Sc.cases_budget () in
+      if cases <= 0 then usage_fail "--cases must be positive";
+      if max_size < 0 then usage_fail "--max-size must be non-negative";
+      let config = { Sc.seed; cases; max_size } in
+      let fail_invariant failures =
+        (* counterexamples are invariant violations: exit 4 through the
+           boundary, one diagnostic per failing property *)
+        raise
+          (Diag.Mlpart_error
+             (List.map
+                (fun f ->
+                  Diag.error ~source:f.Prop.property Diag.Invariant
+                    "%s on %s — replay with --replay '%s'" f.Prop.message
+                    f.Prop.counterexample (Prop.replay_token f))
+                failures))
+      in
+      match replay with
+      | Some token -> (
+          match Sc.replay config ~token with
+          | Error msg -> usage_fail "%s" msg
+          | Ok None ->
+              Printf.printf "replay %s: passes\n" token
+          | Ok (Some f) ->
+              Format.printf "%a@." Prop.pp_failure f;
+              fail_invariant [ f ])
+      | None ->
+          let progress r =
+            match r.Sc.failure with
+            | None ->
+                Printf.printf "ok   %-28s %d case(s)%s\n" r.Sc.name r.Sc.cases
+                  (if r.Sc.skipped > 0 then
+                     Printf.sprintf ", %d skipped" r.Sc.skipped
+                   else "")
+            | Some f -> Format.printf "%a@." Prop.pp_failure f
+          in
+          let report = Sc.run ~progress config in
+          Printf.printf
+            "selfcheck: %d propert%s, %d case(s) passed, %d skipped, %d \
+             failure(s) (seed %d)\n"
+            (List.length report.Sc.props)
+            (if List.length report.Sc.props = 1 then "y" else "ies")
+            report.Sc.total_cases report.Sc.total_skipped
+            (List.length report.Sc.failures)
+            seed;
+          (match failures_path with
+          | Some path when report.Sc.failures <> [] ->
+              Out_channel.with_open_text path (fun oc ->
+                  List.iter
+                    (fun f -> Printf.fprintf oc "%s\n" (Prop.replay_token f))
+                    report.Sc.failures);
+              Printf.printf "wrote %d replay token(s) to %s\n"
+                (List.length report.Sc.failures)
+                path
+          | Some _ | None -> ());
+          if report.Sc.failures <> [] then fail_invariant report.Sc.failures
+    end
+  in
+  let cases_arg =
+    Arg.(value & opt (some int) None
+         & info [ "cases" ] ~docv:"N"
+             ~doc:"Generated cases per property (default: \
+                   $(b,MLPART_SELFCHECK_CASES) or 50).")
+  in
+  let max_size_arg =
+    Arg.(value & opt int 14
+         & info [ "max-size" ] ~docv:"N"
+             ~doc:"Instance sizes cycle through 0..N.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"TOKEN"
+             ~doc:"Re-run exactly one case from a NAME:SEED:CASE token \
+                   printed by a previous failure.")
+  in
+  let failures_arg =
+    Arg.(value & opt (some string) None
+         & info [ "failures" ] ~docv:"FILE"
+             ~doc:"Write replay tokens of failing properties to $(docv), \
+                   one per line (CI uploads this as an artifact).")
+  in
+  let list_arg =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"List property names and exit.")
+  in
+  let term =
+    Term.(const run $ seed_arg $ cases_arg $ max_size_arg $ replay_arg
+          $ failures_arg $ list_arg $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "selfcheck"
+       ~doc:"Run the property-based verification suite: every engine \
+             against an exact brute-force oracle plus metamorphic laws \
+             over the pipeline.  Failures print one-line replay tokens \
+             and exit 4.")
+    term
+
 let setup_logging () =
   match Sys.getenv_opt "MLPART_VERBOSE" with
   | Some ("1" | "true" | "debug") ->
@@ -538,7 +644,7 @@ let () =
   in
   let main = Cmd.group (Cmd.info "mlpart" ~doc ~exits)
       [ bipartition_cmd; quadrisect_cmd; place_cmd; generate_cmd;
-        evaluate_cmd; info_cmd ]
+        evaluate_cmd; info_cmd; selfcheck_cmd ]
   in
   (* cmdliner reports its own usage errors as 124; fold them into the
      documented usage code *)

@@ -1,0 +1,105 @@
+module Rng = Mlpart_util.Rng
+module Fm = Mlpart_partition.Fm
+module Prop = Mlpart_partition.Prop
+module Kl = Mlpart_partition.Kl
+module Lsmc = Mlpart_partition.Lsmc
+module Genetic = Mlpart_partition.Genetic
+module Ml = Mlpart_multilevel.Ml
+
+type result = { side : int array; cut : int }
+
+type t = {
+  name : string;
+  balanced : bool;
+  supports_fixed : bool;
+  run :
+    ?fixed:int array ->
+    Rng.t ->
+    Mlpart_hypergraph.Hypergraph.t ->
+    result;
+}
+
+let no_fixed name = function
+  | None -> ()
+  | Some _ -> invalid_arg (name ^ ": fixed not supported")
+
+let fm_like name config =
+  {
+    name;
+    balanced = true;
+    supports_fixed = true;
+    run =
+      (fun ?fixed rng h ->
+        let r = Fm.run ~config ?fixed rng h in
+        { side = r.Fm.side; cut = r.Fm.cut });
+  }
+
+let fm = fm_like "fm" Fm.default
+let clip = fm_like "clip" Fm.clip
+
+let prop =
+  {
+    name = "prop";
+    balanced = true;
+    supports_fixed = false;
+    run =
+      (fun ?fixed rng h ->
+        no_fixed "prop" fixed;
+        let r = Prop.run rng h in
+        { side = r.Prop.side; cut = r.Prop.cut });
+  }
+
+let kl =
+  {
+    name = "kl";
+    balanced = false;
+    supports_fixed = false;
+    run =
+      (fun ?fixed rng h ->
+        no_fixed "kl" fixed;
+        let r = Kl.run rng h in
+        { side = r.Kl.side; cut = r.Kl.cut });
+  }
+
+let lsmc =
+  {
+    name = "lsmc";
+    balanced = true;
+    supports_fixed = false;
+    run =
+      (fun ?fixed rng h ->
+        no_fixed "lsmc" fixed;
+        let config = { Lsmc.default with Lsmc.descents = 20 } in
+        let r = Lsmc.run ~config rng h in
+        { side = r.Lsmc.side; cut = r.Lsmc.cut });
+  }
+
+let genetic =
+  {
+    name = "genetic";
+    balanced = true;
+    supports_fixed = false;
+    run =
+      (fun ?fixed rng h ->
+        no_fixed "genetic" fixed;
+        let config = { Genetic.default with Genetic.population = 4; generations = 10 } in
+        let r = Genetic.run ~config rng h in
+        { side = r.Genetic.side; cut = r.Genetic.cut });
+  }
+
+let ml =
+  {
+    name = "ml";
+    balanced = true;
+    supports_fixed = true;
+    run =
+      (fun ?fixed rng h ->
+        let config = { Ml.mlc with Ml.threshold = 4 } in
+        let r = Ml.run ~config ?fixed rng h in
+        { side = r.Ml.side; cut = r.Ml.cut });
+  }
+
+let all = [ fm; clip; prop; kl; lsmc; genetic ]
+
+let find name =
+  List.find_opt (fun e -> e.name = name) (ml :: all)

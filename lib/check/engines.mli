@@ -1,0 +1,35 @@
+(** Uniform registry of the bipartitioning engines under verification.
+
+    Each entry wraps one engine behind a common signature so the oracle
+    and law properties iterate over all of them; [balanced] records
+    whether the engine {e guarantees} its output satisfies
+    [Bipartition.bounds ~tolerance:0.1] (KL does not: pair swaps preserve
+    module counts, not weighted areas, and it imposes no bounds). *)
+
+type result = { side : int array; cut : int }
+
+type t = {
+  name : string;  (** stable id used in property names ([oracle/<name>]) *)
+  balanced : bool;
+  supports_fixed : bool;
+  run :
+    ?fixed:int array ->
+    Mlpart_util.Rng.t ->
+    Mlpart_hypergraph.Hypergraph.t ->
+    result;
+      (** [fixed] may only be passed when [supports_fixed]. *)
+}
+
+val all : t list
+(** The six flat engines: [fm], [clip], [prop], [kl], [lsmc], [genetic].
+    LSMC and Genetic run at reduced budgets (instances here are <= 16
+    modules; full budgets only add wall-clock). *)
+
+val fm : t
+(** Plain FM; the one flat engine with a [fixed] contract. *)
+
+val ml : t
+(** The multilevel driver (MLc at threshold 4, so even tiny instances
+    coarsen through real levels); verified alongside the flat engines. *)
+
+val find : string -> t option

@@ -1,0 +1,174 @@
+module Rng = Mlpart_util.Rng
+
+type 'a tree = { value : 'a; shrinks : 'a tree Seq.t }
+type 'a t = { gen : size:int -> Rng.t -> 'a tree }
+
+let generate g ~size rng = g.gen ~size rng
+let root g ~size rng = (g.gen ~size rng).value
+
+(* ---- trees ---- *)
+
+let leaf value = { value; shrinks = Seq.empty }
+
+let rec map_tree f t =
+  { value = f t.value; shrinks = Seq.map (map_tree f) t.shrinks }
+
+(* Shrink the first component fully before touching the second: when both
+   matter the left one is by convention the "more structural" of the two. *)
+let rec zip_tree f ta tb =
+  {
+    value = f ta.value tb.value;
+    shrinks =
+      Seq.append
+        (Seq.map (fun ta' -> zip_tree f ta' tb) ta.shrinks)
+        (Seq.map (fun tb' -> zip_tree f ta tb') tb.shrinks);
+  }
+
+let rec unfold step x =
+  { value = x; shrinks = Seq.map (unfold step) (step x) }
+
+(* ---- integer shrinking ---- *)
+
+let rec halves n : int Seq.t =
+  if n = 0 then Seq.empty else fun () -> Seq.Cons (n, halves (n / 2))
+
+let towards ~dest x : int Seq.t =
+  if dest = x then Seq.empty
+  else
+    (* first candidate is [dest] itself (h = x - dest), then ever-smaller
+       steps back towards [x] *)
+    Seq.map (fun h -> x - h) (halves (x - dest))
+
+(* ---- primitives ---- *)
+
+let return x = { gen = (fun ~size:_ _ -> leaf x) }
+let make f = { gen = (fun ~size rng -> leaf (f ~size rng)) }
+
+let int_range lo hi =
+  if lo > hi then invalid_arg "Gen.int_range: lo > hi";
+  {
+    gen =
+      (fun ~size:_ rng ->
+        let v = lo + Rng.int rng (hi - lo + 1) in
+        unfold (towards ~dest:lo) v);
+  }
+
+let bool =
+  {
+    gen =
+      (fun ~size:_ rng ->
+        let v = Rng.bool rng in
+        if v then { value = true; shrinks = Seq.return (leaf false) }
+        else leaf false);
+  }
+
+let sized f = { gen = (fun ~size rng -> (f size).gen ~size rng) }
+
+(* ---- composition ---- *)
+
+let map f g = { gen = (fun ~size rng -> map_tree f (g.gen ~size rng)) }
+
+let map2 f ga gb =
+  {
+    gen =
+      (fun ~size rng ->
+        let ta = ga.gen ~size rng in
+        let tb = gb.gen ~size rng in
+        zip_tree f ta tb);
+  }
+
+let pair ga gb = map2 (fun a b -> (a, b)) ga gb
+
+let triple ga gb gc =
+  map2 (fun a (b, c) -> (a, b, c)) ga (pair gb gc)
+
+let bind g f =
+  {
+    gen =
+      (fun ~size rng ->
+        let inner_rng = Rng.split rng in
+        let outer = g.gen ~size rng in
+        (* Re-run the inner generator from a copy of the same state each
+           time the outer value shrinks, so the composite stays inside the
+           generator's distribution and replay stays deterministic. *)
+        let rec attach o =
+          let inner = (f o.value).gen ~size (Rng.copy inner_rng) in
+          {
+            value = inner.value;
+            shrinks =
+              Seq.append (Seq.map attach o.shrinks) inner.shrinks;
+          }
+        in
+        attach outer);
+  }
+
+let oneof gens =
+  match gens with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | _ ->
+      let arr = Array.of_list gens in
+      {
+        gen =
+          (fun ~size rng ->
+            let i = Rng.int rng (Array.length arr) in
+            arr.(i).gen ~size rng);
+      }
+
+let frequency weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency: non-positive total weight";
+  List.iter
+    (fun (w, _) -> if w <= 0 then invalid_arg "Gen.frequency: weight <= 0")
+    weighted;
+  {
+    gen =
+      (fun ~size rng ->
+        let roll = Rng.int rng total in
+        let rec pick acc = function
+          | [] -> assert false
+          | (w, g) :: rest ->
+              if roll < acc + w then g.gen ~size rng else pick (acc + w) rest
+        in
+        pick 0 weighted);
+  }
+
+(* ---- lists ---- *)
+
+(* Shrinks of a list of trees: drop one element (each position), then
+   shrink one element in place.  Positions are tried left to right; the
+   sequences are built lazily so unexplored candidates cost nothing. *)
+let rec list_tree (ts : 'a tree list) : 'a list tree =
+  let value = List.map (fun t -> t.value) ts in
+  let drops =
+    Seq.mapi
+      (fun i _ -> list_tree (List.filteri (fun j _ -> j <> i) ts))
+      (List.to_seq ts)
+  in
+  let element_shrinks =
+    Seq.concat_map
+      (fun i ->
+        let t = List.nth ts i in
+        Seq.map
+          (fun t' ->
+            list_tree (List.mapi (fun j tj -> if j = i then t' else tj) ts))
+          t.shrinks)
+      (Seq.init (List.length ts) Fun.id)
+  in
+  { value; shrinks = Seq.append drops element_shrinks }
+
+let list_n len elt =
+  bind len (fun n ->
+      {
+        gen =
+          (fun ~size rng ->
+            list_tree (List.init (Stdlib.max 0 n) (fun _ -> elt.gen ~size rng)));
+      })
+
+let array_n len elt = map Array.of_list (list_n len elt)
+
+(* ---- shrinking control ---- *)
+
+let no_shrink g = { gen = (fun ~size rng -> leaf (root g ~size rng)) }
+
+let reshrink step g =
+  { gen = (fun ~size rng -> unfold step (root g ~size rng)) }

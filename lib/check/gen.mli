@@ -1,0 +1,92 @@
+(** Sized random generators with integrated shrinking.
+
+    The property-testing core is deliberately dependency-free (it must be
+    able to interrogate every other library, so it can depend on nothing
+    but [Mlpart_util]): a generator produces a {e rose tree} whose root is
+    the generated value and whose children are progressively smaller
+    variants, computed lazily.  When a property fails, the runner walks the
+    tree greedily — first failing child, repeat — so shrinking needs no
+    per-type shrink functions at the call site and always re-uses the same
+    generation logic that produced the counterexample.
+
+    Generation is driven by an explicit {!Mlpart_util.Rng.t} and a [size]
+    parameter in [0 .. max_size]; combinators derive sub-generators
+    deterministically, which is what makes one-line seed replay possible
+    (see {!Property}). *)
+
+type 'a tree = { value : 'a; shrinks : 'a tree Seq.t }
+(** A generated value plus its lazily-computed shrink candidates, ordered
+    most-aggressive first. *)
+
+type 'a t
+(** A sized generator of ['a] rose trees. *)
+
+val generate : 'a t -> size:int -> Mlpart_util.Rng.t -> 'a tree
+(** Run the generator.  Equal generator, size and RNG state yield equal
+    trees (laziness aside). *)
+
+val root : 'a t -> size:int -> Mlpart_util.Rng.t -> 'a
+(** The generated value alone, discarding shrinks. *)
+
+(** {1 Primitives} *)
+
+val return : 'a -> 'a t
+(** Constant generator; never shrinks. *)
+
+val make : (size:int -> Mlpart_util.Rng.t -> 'a) -> 'a t
+(** Lift a raw sampling function into a generator with no shrinks of its
+    own; compose with {!reshrink} to attach a structural shrinker. *)
+
+val int_range : int -> int -> int t
+(** [int_range lo hi] is uniform in [\[lo, hi\]], shrinking towards [lo]
+    by binary halving.  Raises [Invalid_argument] if [lo > hi]. *)
+
+val bool : bool t
+(** Fair coin; [true] shrinks to [false]. *)
+
+val sized : (int -> 'a t) -> 'a t
+(** Make the current size available. *)
+
+(** {1 Composition} *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+(** Monadic composition.  When the outer value shrinks, the inner generator
+    is re-run with the same RNG state, so shrinks stay within the
+    distribution of the composite generator. *)
+
+val oneof : 'a t list -> 'a t
+(** Uniform choice among alternatives.  Raises [Invalid_argument] on []. *)
+
+val frequency : (int * 'a t) list -> 'a t
+(** Weighted choice; weights must be positive. *)
+
+val list_n : int t -> 'a t -> 'a list t
+(** [list_n len elt]: length drawn from [len], elements from [elt].
+    Shrinks by re-running at a smaller length, by dropping single
+    elements, and by shrinking individual elements. *)
+
+val array_n : int t -> 'a t -> 'a array t
+
+(** {1 Shrinking control} *)
+
+val no_shrink : 'a t -> 'a t
+(** Discard all shrink candidates (for values whose shrinking is
+    meaningless, e.g. seeds). *)
+
+val reshrink : ('a -> 'a Seq.t) -> 'a t -> 'a t
+(** [reshrink step g] replaces [g]'s shrink tree by the one obtained by
+    unfolding [step] from the generated value: candidates of [step v]
+    become children, recursively.  Used where structural shrinking beats
+    the generic one (e.g. hypergraph specs: drop a net, drop a module). *)
+
+val unfold : ('a -> 'a Seq.t) -> 'a -> 'a tree
+(** The tree obtained by repeatedly applying a shrink-step function. *)
+
+val towards : dest:int -> int -> int Seq.t
+(** Classic integer shrink candidates: [dest] first, then binary halving
+    back towards the start value.  Empty when already at [dest]. *)

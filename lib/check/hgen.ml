@@ -1,0 +1,219 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Rng = Mlpart_util.Rng
+
+type spec = {
+  label : string;
+  areas : int array;
+  nets : (int array * int) array;
+}
+
+let num_modules spec = Array.length spec.areas
+
+let build spec =
+  H.make ~name:spec.label ~areas:spec.areas ~nets:spec.nets ()
+
+let build_unchecked spec =
+  H.make_unchecked ~name:spec.label ~areas:spec.areas ~nets:spec.nets ()
+
+let show spec =
+  let b = Buffer.create 128 in
+  Buffer.add_string b spec.label;
+  Buffer.add_string b "{areas=[";
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char b ';';
+      Buffer.add_string b (string_of_int a))
+    spec.areas;
+  Buffer.add_string b "] nets=[";
+  Array.iteri
+    (fun i (pins, w) ->
+      if i > 0 then Buffer.add_char b ' ';
+      Buffer.add_char b '{';
+      Array.iteri
+        (fun j p ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int p))
+        pins;
+      Buffer.add_char b '}';
+      if w <> 1 then Buffer.add_string b ("w" ^ string_of_int w))
+    spec.nets;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ---- structural shrinking ---- *)
+
+(* Remove the highest-numbered module: its pins disappear from every net,
+   nets left with fewer than two pins are dropped.  Keeping removal to the
+   last module avoids reindexing. *)
+let drop_last_module spec =
+  let n = num_modules spec in
+  let areas = Array.sub spec.areas 0 (n - 1) in
+  let nets =
+    Array.to_list spec.nets
+    |> List.filter_map (fun (pins, w) ->
+           let pins = Array.of_list (List.filter (fun p -> p < n - 1) (Array.to_list pins)) in
+           if Array.length pins >= 2 then Some (pins, w) else None)
+    |> Array.of_list
+  in
+  { spec with areas; nets }
+
+let shrink spec : spec Seq.t =
+  let candidates = ref [] in
+  let push c = candidates := c :: !candidates in
+  (* reverse order of desired priority: pushed last = tried first *)
+  if num_modules spec > 2 then push (drop_last_module spec);
+  Array.iteri
+    (fun i _ ->
+      push
+        { spec with nets = Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list spec.nets)) })
+    spec.nets;
+  if Array.exists (fun (_, w) -> w <> 1) spec.nets then
+    push { spec with nets = Array.map (fun (pins, _) -> (pins, 1)) spec.nets };
+  if Array.exists (fun a -> a <> 1) spec.areas then
+    push { spec with areas = Array.map (fun _ -> 1) spec.areas };
+  List.to_seq !candidates
+
+(* ---- raw family samplers ---- *)
+
+let random_distinct_pins rng n degree =
+  let perm = Rng.permutation rng n in
+  let pins = Array.sub perm 0 degree in
+  Array.sort Int.compare pins;
+  pins
+
+let random_areas rng n =
+  if Rng.bool rng then Array.make n 1
+  else Array.init n (fun _ -> 1 + Rng.int rng 3)
+
+let random_weight rng = if Rng.bool rng then 1 else 1 + Rng.int rng 3
+
+let arbitrary ~n rng =
+  let m = Rng.int rng (2 * n + 1) in
+  let nets =
+    Array.init m (fun _ ->
+        let degree = 2 + Rng.int rng (Stdlib.min 4 (n - 1)) in
+        (random_distinct_pins rng n degree, random_weight rng))
+  in
+  { label = "arb"; areas = random_areas rng n; nets }
+
+(* One hub module on every net; the hub's gain couples every bucket
+   update.  Optionally one extra net spanning everything. *)
+let star ~n rng =
+  let leaves = Array.init (n - 1) (fun i -> ([| 0; i + 1 |], random_weight rng)) in
+  let nets =
+    if n > 2 && Rng.bool rng then
+      Array.append leaves [| (Array.init n Fun.id, random_weight rng) |]
+    else leaves
+  in
+  { label = "star"; areas = random_areas rng n; nets }
+
+(* All-pairs 2-pin nets: every move changes many gains, ties abound. *)
+let clique_nets ~n rng =
+  let n = Stdlib.min n 8 in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    for w = v + 1 to n - 1 do
+      acc := ([| v; w |], random_weight rng) :: !acc
+    done
+  done;
+  { label = "clique"; areas = random_areas rng n; nets = Array.of_list (List.rev !acc) }
+
+(* Two components with no connecting net: the optimal cut is 0 whenever
+   balance allows splitting along the component boundary. *)
+let disconnected ~n rng =
+  let n = Stdlib.max 4 n in
+  let split = 2 + Rng.int rng (n - 3) in
+  let component lo hi =
+    let size = hi - lo in
+    let m = 1 + Rng.int rng (Stdlib.max 1 size) in
+    Array.init m (fun _ ->
+        let degree = 2 + Rng.int rng (Stdlib.min 3 (size - 1)) in
+        let pins = random_distinct_pins rng size degree in
+        (Array.map (fun p -> p + lo) pins, random_weight rng))
+  in
+  let left = if split >= 2 then component 0 split else [||] in
+  let right = if n - split >= 2 then component split n else [||] in
+  { label = "disco"; areas = random_areas rng n; nets = Array.append left right }
+
+(* Adversarial duplicate nets: identical pin sets with independent
+   weights, the family Definition 1's merge rule must treat as one
+   weighted net. *)
+let duplicate_nets ~n rng =
+  let base = 1 + Rng.int rng 3 in
+  let nets = ref [] in
+  for _ = 1 to base do
+    let degree = 2 + Rng.int rng (Stdlib.min 3 (n - 1)) in
+    let pins = random_distinct_pins rng n degree in
+    let copies = 1 + Rng.int rng 3 in
+    for _ = 1 to copies do
+      nets := (Array.copy pins, random_weight rng) :: !nets
+    done
+  done;
+  { label = "dup"; areas = random_areas rng n; nets = Array.of_list (List.rev !nets) }
+
+let unit_instance =
+  { label = "unit"; areas = [| 1; 1 |]; nets = [| ([| 0; 1 |], 1) |] }
+
+let ring ~n rng =
+  let n = Stdlib.max 3 n in
+  let nets =
+    Array.init n (fun i ->
+        let a = i and b = (i + 1) mod n in
+        ([| Stdlib.min a b; Stdlib.max a b |], random_weight rng))
+  in
+  { label = "ring"; areas = random_areas rng n; nets }
+
+(* ---- sized generators ---- *)
+
+let sample ~max_modules ~size rng =
+  let n = Stdlib.max 2 (Stdlib.min max_modules (2 + size)) in
+  match Rng.int rng 12 with
+  | 0 -> unit_instance
+  | 1 | 2 -> star ~n rng
+  | 3 -> clique_nets ~n rng
+  | 4 | 5 -> disconnected ~n rng
+  | 6 | 7 -> duplicate_nets ~n rng
+  | 8 -> ring ~n rng
+  | _ -> arbitrary ~n rng
+
+let small_instance ~max_modules =
+  Gen.reshrink shrink
+    (Gen.make (fun ~size rng -> sample ~max_modules ~size rng))
+
+let instance = small_instance ~max_modules:16
+
+(* ---- degenerate family ---- *)
+
+let degenerate_sample ~size rng =
+  let n = Stdlib.max 2 (Stdlib.min 10 (2 + size)) in
+  let areas =
+    Array.init n (fun _ ->
+        match Rng.int rng 4 with 0 -> 0 | 1 -> -2 | _ -> 1 + Rng.int rng 3)
+  in
+  let m = Rng.int rng (n + 2) in
+  let nets =
+    Array.init m (fun _ ->
+        let degree = Rng.int rng 5 in
+        (* duplicates allowed on purpose: draw with replacement *)
+        let pins = Array.init degree (fun _ -> Rng.int rng n) in
+        Array.sort Int.compare pins;
+        let w = match Rng.int rng 4 with 0 -> 0 | 1 -> -1 | _ -> 1 + Rng.int rng 3 in
+        (pins, w))
+  in
+  { label = "degen"; areas; nets }
+
+(* Shrinking may keep the spec degenerate (that's the point); only net
+   dropping and module dropping apply. *)
+let degenerate_shrink spec : spec Seq.t =
+  let candidates = ref [] in
+  Array.iteri
+    (fun i _ ->
+      candidates :=
+        { spec with nets = Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list spec.nets)) }
+        :: !candidates)
+    spec.nets;
+  List.to_seq !candidates
+
+let degenerate =
+  Gen.reshrink degenerate_shrink
+    (Gen.make (fun ~size rng -> degenerate_sample ~size rng))

@@ -1,0 +1,49 @@
+(** Hypergraph instance generators for the verification subsystem.
+
+    The Rent-rule suite in [Mlpart_gen] generates {e realistic} netlists;
+    this module generates {e adversarial} ones — the families where engine
+    bugs historically hide: stars (one module on every net), cliques of
+    2-pin nets (ties everywhere), disconnected components (rebalance must
+    bridge), the degenerate 2-module instance, duplicate nets (weight
+    merging), and heavily weighted variants.  All instances are small
+    enough for the exact oracle ({!Oracle}) to enumerate.
+
+    Instances travel as {!spec} values — a plain description rather than a
+    built hypergraph — so that counterexamples print readably and shrink
+    structurally (drop a net, drop a module, flatten weights/areas). *)
+
+type spec = {
+  label : string;  (** family tag, e.g. ["star"]; survives shrinking *)
+  areas : int array;  (** per-module area, length = module count *)
+  nets : (int array * int) array;  (** (sorted distinct pins, weight) *)
+}
+
+val num_modules : spec -> int
+val build : spec -> Mlpart_hypergraph.Hypergraph.t
+(** Via [Hypergraph.make]; raises on invalid specs (generators only emit
+    valid ones — see {!degenerate} for the invalid family). *)
+
+val build_unchecked : spec -> Mlpart_hypergraph.Hypergraph.t
+(** Via [Hypergraph.make_unchecked]; for {!degenerate} specs. *)
+
+val show : spec -> string
+(** Single-line rendering used in counterexample reports. *)
+
+val shrink : spec -> spec Seq.t
+(** Structural shrink candidates, most aggressive first: all areas to 1,
+    all weights to 1, drop each net, drop the last module.  Every
+    candidate is again a valid spec (>= 2 modules, nets >= 2 pins). *)
+
+val instance : spec Gen.t
+(** The full adversarial mix, sized: at size [s] instances have up to
+    [2 + s] modules (capped at 16, the oracle's enumeration limit). *)
+
+val small_instance : max_modules:int -> spec Gen.t
+(** Same mix with a tighter module cap (the quadrisection oracle
+    enumerates [k^n] assignments, so it needs [n <= 7] or so). *)
+
+val degenerate : spec Gen.t
+(** Invalid-by-construction specs: duplicate pins within a net, empty and
+    singleton nets, non-positive areas and weights.  Pins stay in range
+    (required even by [make_unchecked]).  Feed through
+    {!build_unchecked} to test [validate]/[repair]. *)

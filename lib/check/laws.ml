@@ -1,0 +1,410 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Rng = Mlpart_util.Rng
+module Bp = Mlpart_partition.Bipartition
+module Kp = Mlpart_partition.Kpartition
+module Fm = Mlpart_partition.Fm
+module Objective = Mlpart_partition.Objective
+module Multiway = Mlpart_partition.Multiway
+module Match = Mlpart_multilevel.Match
+module Ml = Mlpart_multilevel.Ml
+
+open Property
+
+let failf fmt = Printf.ksprintf (fun m -> Fail m) fmt
+
+(* Every property consumes an instance spec plus a scalar seed driving all
+   derived randomness (engine RNG, random sides, permutations), so the
+   whole case replays from the (spec, seed) pair alone. *)
+let seeded gen = Gen.pair gen (Gen.int_range 0 999_983)
+let show_seeded (spec, seed) = Printf.sprintf "%s seed=%d" (Hgen.show spec) seed
+
+let unconstrained h = { Bp.lo = 0; hi = H.total_area h }
+
+let random_side rng n = Array.init n (fun _ -> Rng.int rng 2)
+
+(* ---- oracle properties ---- *)
+
+(* Reported cut must equal an [Objective] recount; a balanced engine must
+   land inside the paper's bounds and then beat no feasible assignment;
+   an unbounded engine (KL) is held to the unconstrained optimum. *)
+let oracle_law (engine : Engines.t) (spec, seed) =
+  let h = Hgen.build spec in
+  let r = engine.Engines.run (Rng.create seed) h in
+  let report = Objective.evaluate h r.Engines.side in
+  if r.Engines.cut <> report.Objective.net_cut then
+    failf "reported cut %d but recount is %d" r.Engines.cut
+      report.Objective.net_cut
+  else begin
+    let bounds = if engine.Engines.balanced then Bp.bounds h else unconstrained h in
+    let area0 =
+      Array.fold_left ( + ) 0
+        (Array.mapi
+           (fun v s -> if s = 0 then H.area h v else 0)
+           r.Engines.side)
+    in
+    if engine.Engines.balanced && (area0 < bounds.Bp.lo || area0 > bounds.Bp.hi)
+    then
+      failf "side-0 area %d outside balance bounds [%d, %d]" area0 bounds.Bp.lo
+        bounds.Bp.hi
+    else
+      match Oracle.bipartition ~bounds h with
+      | None -> failf "engine returned a solution on an infeasible instance"
+      | Some opt ->
+          if r.Engines.cut < opt.Oracle.cut then
+            failf "cut %d beats the enumerated optimum %d (impossible)"
+              r.Engines.cut opt.Oracle.cut
+          else Pass
+  end
+
+let oracle_property engine =
+  Packed
+    {
+      name = "oracle/" ^ engine.Engines.name;
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law = oracle_law engine;
+    }
+
+(* FM with pinned modules: the pins must survive to the output, and the
+   optimum is taken over assignments honouring them. *)
+let fm_fixed =
+  Packed
+    {
+      name = "oracle/fm-fixed";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let n = H.num_modules h in
+          let rng = Rng.create seed in
+          let fixed = Array.make n (-1) in
+          let perm = Rng.permutation rng n in
+          let count = Rng.int rng ((n / 3) + 1) in
+          for i = 0 to count - 1 do
+            fixed.(perm.(i)) <- i land 1
+          done;
+          let bounds = Bp.bounds h in
+          match Oracle.bipartition ~fixed ~bounds h with
+          | None -> Skip
+          | Some opt -> (
+              let r = Engines.fm.Engines.run ~fixed rng h in
+              let bad = ref None in
+              Array.iteri
+                (fun v f ->
+                  if f >= 0 && r.Engines.side.(v) <> f && !bad = None then
+                    bad := Some v)
+                fixed;
+              match !bad with
+              | Some v ->
+                  failf "module %d was pinned to %d but ended on side %d" v
+                    fixed.(v) r.Engines.side.(v)
+              | None ->
+                  let report = Objective.evaluate h r.Engines.side in
+                  if r.Engines.cut <> report.Objective.net_cut then
+                    failf "reported cut %d but recount is %d" r.Engines.cut
+                      report.Objective.net_cut
+                  else if r.Engines.cut < opt.Oracle.cut then
+                    failf "cut %d beats the fixed-respecting optimum %d"
+                      r.Engines.cut opt.Oracle.cut
+                  else Pass));
+    }
+
+(* Quadrisection against the exhaustive 4-way oracle (hence the tight
+   module cap: 4^n assignments). *)
+let multiway_oracle =
+  Packed
+    {
+      name = "oracle/multiway";
+      gen = seeded (Hgen.small_instance ~max_modules:7);
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let n = H.num_modules h in
+          if n < 4 then Skip
+          else begin
+            let r = Multiway.run (Rng.create seed) h ~k:4 in
+            let report = Objective.evaluate h r.Multiway.side in
+            if r.Multiway.cut <> report.Objective.net_cut then
+              failf "reported 4-way cut %d but recount is %d" r.Multiway.cut
+                report.Objective.net_cut
+            else
+              match Oracle.kway ~k:4 h with
+              | None -> failf "unconstrained 4-way oracle found nothing"
+              | Some opt ->
+                  if r.Multiway.cut < opt.Oracle.cut then
+                    failf "4-way cut %d beats the optimum %d" r.Multiway.cut
+                      opt.Oracle.cut
+                  else Pass
+          end);
+    }
+
+let oracle_properties =
+  List.map oracle_property Engines.all
+  @ [ oracle_property Engines.ml; fm_fixed; multiway_oracle ]
+
+(* ---- metamorphic laws ---- *)
+
+(* Relabeling modules and reordering nets must not change any metric. *)
+let relabel =
+  Packed
+    {
+      name = "laws/relabel";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let n = H.num_modules h in
+          let rng = Rng.create seed in
+          let pi = Rng.permutation rng n in
+          let areas' = Array.make n 0 in
+          Array.iteri (fun v a -> areas'.(pi.(v)) <- a) spec.Hgen.areas;
+          let nets' =
+            Array.map
+              (fun (pins, w) ->
+                let pins = Array.map (fun p -> pi.(p)) pins in
+                Array.sort Int.compare pins;
+                (pins, w))
+              spec.Hgen.nets
+          in
+          Rng.shuffle_in_place rng nets';
+          let h' = H.make ~areas:areas' ~nets:nets' () in
+          let side = random_side rng n in
+          let side' = Array.make n 0 in
+          Array.iteri (fun v s -> side'.(pi.(v)) <- s) side;
+          let a = Objective.evaluate h side in
+          let b = Objective.evaluate h' side' in
+          if a.Objective.net_cut <> b.Objective.net_cut then
+            failf "relabeled cut %d <> %d" b.Objective.net_cut a.Objective.net_cut
+          else if a.Objective.sum_degrees <> b.Objective.sum_degrees then
+            failf "relabeled soed %d <> %d" b.Objective.sum_degrees
+              a.Objective.sum_degrees
+          else if a.Objective.absorbed <> b.Objective.absorbed then
+            failf "relabeled absorption %d <> %d" b.Objective.absorbed
+              a.Objective.absorbed
+          else if a.Objective.part_areas <> b.Objective.part_areas then
+            failf "relabeled part areas differ"
+          else Pass);
+    }
+
+(* Scaling every net weight by c scales every weighted metric — and the
+   balanced optimum — by exactly c (areas are untouched, so the feasible
+   set is identical). *)
+let weight_scale =
+  Packed
+    {
+      name = "laws/weight-scale";
+      gen = Gen.pair (seeded Hgen.instance) (Gen.int_range 2 5);
+      show =
+        (fun (s, c) -> Printf.sprintf "%s scale=%d" (show_seeded s) c);
+      law =
+        (fun ((spec, seed), c) ->
+          let h = Hgen.build spec in
+          let n = H.num_modules h in
+          let scaled =
+            { spec with Hgen.nets = Array.map (fun (p, w) -> (p, w * c)) spec.Hgen.nets }
+          in
+          let h' = Hgen.build scaled in
+          let rng = Rng.create seed in
+          let side = random_side rng n in
+          let a = Objective.evaluate h side in
+          let b = Objective.evaluate h' side in
+          if b.Objective.net_cut <> c * a.Objective.net_cut then
+            failf "scaled cut %d <> %d * %d" b.Objective.net_cut c
+              a.Objective.net_cut
+          else if b.Objective.sum_degrees <> c * a.Objective.sum_degrees then
+            failf "scaled soed %d <> %d * %d" b.Objective.sum_degrees c
+              a.Objective.sum_degrees
+          else if b.Objective.absorbed <> c * a.Objective.absorbed then
+            failf "scaled absorption %d <> %d * %d" b.Objective.absorbed c
+              a.Objective.absorbed
+          else
+            let bounds = Bp.bounds h in
+            match (Oracle.bipartition ~bounds h, Oracle.bipartition ~bounds h') with
+            | Some o, Some o' when o'.Oracle.cut <> c * o.Oracle.cut ->
+                failf "scaled optimum %d <> %d * %d" o'.Oracle.cut c o.Oracle.cut
+            | Some _, Some _ -> Pass
+            | None, None -> Skip
+            | _ -> failf "feasibility changed under weight scaling");
+    }
+
+(* Definition 1: merging duplicate nets into one net of summed weight is
+   invisible to every weighted metric.  The identity clustering makes
+   [induce ~merge_duplicates:true] perform exactly that merge. *)
+let merge_duplicates =
+  Packed
+    {
+      name = "laws/merge-duplicates";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let n = H.num_modules h in
+          let identity = Array.init n Fun.id in
+          let h', k = H.induce ~merge_duplicates:true h identity in
+          if k <> n then failf "identity clustering produced %d clusters" k
+          else begin
+            let side = random_side (Rng.create seed) n in
+            let a = Objective.evaluate h side in
+            let b = Objective.evaluate h' side in
+            if a.Objective.net_cut <> b.Objective.net_cut then
+              failf "merged cut %d <> %d" b.Objective.net_cut a.Objective.net_cut
+            else if a.Objective.sum_degrees <> b.Objective.sum_degrees then
+              failf "merged soed %d <> %d" b.Objective.sum_degrees
+                a.Objective.sum_degrees
+            else if a.Objective.absorbed <> b.Objective.absorbed then
+              failf "merged absorption %d <> %d" b.Objective.absorbed
+                a.Objective.absorbed
+            else Pass
+          end);
+    }
+
+(* A coarse assignment and its projection cut exactly the same nets
+   (Definitions 1 and 2), with or without duplicate merging. *)
+let coarsen_project =
+  Packed
+    {
+      name = "laws/coarsen-project";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let rng = Rng.create seed in
+          let cluster_of, _ = Match.run rng h ~ratio:1.0 in
+          let merge = Rng.bool rng in
+          let coarse, k = H.induce ~merge_duplicates:merge h cluster_of in
+          let coarse_side = random_side rng k in
+          let fine_side = Ml.project cluster_of coarse_side in
+          let coarse_cut = Fm.cut_of coarse coarse_side in
+          let fine_cut = Fm.cut_of h fine_side in
+          if coarse_cut <> fine_cut then
+            failf "coarse cut %d <> projected fine cut %d (merge=%b)"
+              coarse_cut fine_cut merge
+          else Pass);
+    }
+
+(* Pinned modules must survive a full multilevel run — coarsening,
+   the coarsest-level partition, projection and every refinement pass
+   (threshold 4 forces real levels even on tiny instances). *)
+let fixed_levels =
+  Packed
+    {
+      name = "laws/fixed-levels";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let n = H.num_modules h in
+          let rng = Rng.create seed in
+          let fixed = Array.make n (-1) in
+          let perm = Rng.permutation rng n in
+          let count = Rng.int rng ((n / 3) + 1) in
+          for i = 0 to count - 1 do
+            fixed.(perm.(i)) <- i land 1
+          done;
+          match Oracle.bipartition ~fixed ~bounds:(Bp.bounds h) h with
+          | None -> Skip
+          | Some opt ->
+              let r = Engines.ml.Engines.run ~fixed rng h in
+              let bad = ref None in
+              Array.iteri
+                (fun v f ->
+                  if f >= 0 && r.Engines.side.(v) <> f && !bad = None then
+                    bad := Some v)
+                fixed;
+              (match !bad with
+              | Some v ->
+                  failf "module %d was pinned to %d but ended on side %d" v
+                    fixed.(v) r.Engines.side.(v)
+              | None ->
+                  if r.Engines.cut <> Fm.cut_of h r.Engines.side then
+                    failf "reported cut %d but recount is %d" r.Engines.cut
+                      (Fm.cut_of h r.Engines.side)
+                  else if r.Engines.cut < opt.Oracle.cut then
+                    failf "cut %d beats the pinned optimum %d" r.Engines.cut
+                      opt.Oracle.cut
+                  else Pass));
+    }
+
+(* V-cycles refine the solution of a plain run and may never lose. *)
+let vcycle_monotone =
+  Packed
+    {
+      name = "laws/vcycle-monotone";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let config = { Ml.mlc with Ml.threshold = 4 } in
+          let single = Ml.run ~config (Rng.create seed) h in
+          let cycled = Ml.run_vcycles ~config ~cycles:2 (Rng.create seed) h in
+          if cycled.Ml.cut > single.Ml.cut then
+            failf "2 V-cycles worsened the cut: %d > %d" cycled.Ml.cut
+              single.Ml.cut
+          else if cycled.Ml.cut <> Fm.cut_of h cycled.Ml.side then
+            failf "reported cut %d but recount is %d" cycled.Ml.cut
+              (Fm.cut_of h cycled.Ml.side)
+          else Pass);
+    }
+
+(* repair is total and idempotent: one pass fixes everything [validate]
+   checks; a second pass is the identity. *)
+let repair_idempotent =
+  Packed
+    {
+      name = "laws/repair-idempotent";
+      gen = Hgen.degenerate;
+      show = Hgen.show;
+      law =
+        (fun spec ->
+          let h = Hgen.build_unchecked spec in
+          let h1, rep1 = H.repair h in
+          match H.validate h1 with
+          | Error diags ->
+              failf "repair left %d violation(s)" (List.length diags)
+          | Ok () ->
+              let h2, rep2 = H.repair h1 in
+              let zero r =
+                r.H.dropped_nets = 0 && r.H.deduped_pins = 0
+                && r.H.clamped_areas = 0 && r.H.clamped_weights = 0
+              in
+              let same_structure a b =
+                H.num_modules a = H.num_modules b
+                && H.num_nets a = H.num_nets b
+                && H.num_pins a = H.num_pins b
+                && Array.init (H.num_modules a) (H.area a)
+                   = Array.init (H.num_modules b) (H.area b)
+                && Array.init (H.num_nets a) (fun e ->
+                       (H.net_weight a e, H.pins_of a e))
+                   = Array.init (H.num_nets b) (fun e ->
+                         (H.net_weight b e, H.pins_of b e))
+              in
+              if not (zero rep2) then failf "second repair still made changes"
+              else if not (same_structure h1 h2) then
+                failf "second repair changed the structure"
+              else if H.validate h = Ok () && not (zero rep1) then
+                failf "repair changed an already-valid hypergraph"
+              else Pass);
+    }
+
+let law_properties =
+  [
+    relabel;
+    weight_scale;
+    merge_duplicates;
+    coarsen_project;
+    fixed_levels;
+    vcycle_monotone;
+    repair_idempotent;
+  ]
+
+let all = oracle_properties @ law_properties
+
+let find name =
+  List.find_opt (fun p -> Property.packed_name p = name) all

@@ -1,0 +1,27 @@
+(** The property suite: exact-oracle checks per engine plus metamorphic
+    laws over the whole pipeline.
+
+    Oracle properties ([oracle/<engine>]) assert, per generated instance:
+    the reported cut equals a from-scratch [Objective] recount, the output
+    satisfies the engine's balance contract, and the cut is no better than
+    the enumerated optimum over the engine's feasible set — a reported cut
+    {e below} the optimum is exactly what a bucket-discipline or rollback
+    bug looks like.
+
+    Law properties ([laws/...]) assert behavioural symmetries that need no
+    oracle: relabeling invariance, net-weight scaling, duplicate-net merge
+    equivalence (Definition 1), coarsen-then-project cut conservation,
+    fixed pins respected through multilevel runs, V-cycle monotonicity,
+    and [validate]/[repair] idempotence. *)
+
+val oracle_properties : Property.packed list
+(** One per flat engine (fm, clip, prop, kl, lsmc, genetic), plus the
+    multilevel driver, an FM run with fixed pins, and the 4-way
+    quadrisection engine. *)
+
+val law_properties : Property.packed list
+
+val all : Property.packed list
+(** [oracle_properties @ law_properties]; names are unique. *)
+
+val find : string -> Property.packed option

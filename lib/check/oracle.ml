@@ -1,0 +1,138 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Bp = Mlpart_partition.Bipartition
+module Kp = Mlpart_partition.Kpartition
+
+type best = { cut : int; side : int array }
+
+let max_modules = 16
+
+let bipartition ?fixed ~bounds h =
+  let n = H.num_modules h in
+  if n > max_modules then
+    invalid_arg
+      (Printf.sprintf "Oracle.bipartition: %d modules exceeds the %d cap" n
+         max_modules);
+  let areas = H.areas_store h in
+  let offs = H.net_offsets_store h in
+  let pins = H.net_pins_store h in
+  let weights = H.net_weights_store h in
+  let num_nets = H.num_nets h in
+  let fixed_mask = ref 0 and fixed_value = ref 0 in
+  (match fixed with
+  | None -> ()
+  | Some f ->
+      if Array.length f <> n then
+        invalid_arg "Oracle.bipartition: fixed length mismatch";
+      Array.iteri
+        (fun v s ->
+          if s >= 0 then begin
+            if s > 1 then invalid_arg "Oracle.bipartition: fixed side > 1";
+            fixed_mask := !fixed_mask lor (1 lsl v);
+            if s = 1 then fixed_value := !fixed_value lor (1 lsl v)
+          end)
+        f);
+  let fixed_mask = !fixed_mask and fixed_value = !fixed_value in
+  let best_cut = ref max_int and best_mask = ref (-1) in
+  for mask = 0 to (1 lsl n) - 1 do
+    if mask land fixed_mask = fixed_value then begin
+      let area0 = ref 0 in
+      for v = 0 to n - 1 do
+        if (mask lsr v) land 1 = 0 then area0 := !area0 + areas.(v)
+      done;
+      if !area0 >= bounds.Bp.lo && !area0 <= bounds.Bp.hi then begin
+        let cut = ref 0 in
+        for e = 0 to num_nets - 1 do
+          let lo = offs.(e) and hi = offs.(e + 1) in
+          let first = (mask lsr pins.(lo)) land 1 in
+          let split = ref false in
+          for s = lo + 1 to hi - 1 do
+            if (mask lsr pins.(s)) land 1 <> first then split := true
+          done;
+          if !split then cut := !cut + weights.(e)
+        done;
+        (* strict <: ties go to the lowest mask, so the oracle is a pure
+           function of the instance *)
+        if !cut < !best_cut then begin
+          best_cut := !cut;
+          best_mask := mask
+        end
+      end
+    end
+  done;
+  if !best_mask < 0 then None
+  else
+    Some
+      {
+        cut = !best_cut;
+        side = Array.init n (fun v -> (!best_mask lsr v) land 1);
+      }
+
+let kway ?bounds ~k h =
+  if k < 2 then invalid_arg "Oracle.kway: k < 2";
+  let n = H.num_modules h in
+  let assignments =
+    let rec pow acc i = if i = 0 then acc else pow (acc * k) (i - 1) in
+    pow 1 n
+  in
+  if assignments > 1 lsl 18 then
+    invalid_arg
+      (Printf.sprintf "Oracle.kway: %d^%d assignments exceed the 2^18 cap" k n);
+  let areas = H.areas_store h in
+  let offs = H.net_offsets_store h in
+  let pins = H.net_pins_store h in
+  let weights = H.net_weights_store h in
+  let num_nets = H.num_nets h in
+  let side = Array.make n 0 in
+  let part_area = Array.make k 0 in
+  let seen = Array.make k (-1) in
+  let best_cut = ref max_int and best_side = ref None in
+  let feasible () =
+    match bounds with
+    | None -> true
+    | Some b ->
+        Array.fill part_area 0 k 0;
+        for v = 0 to n - 1 do
+          part_area.(side.(v)) <- part_area.(side.(v)) + areas.(v)
+        done;
+        Array.for_all (fun a -> a >= b.Kp.lo && a <= b.Kp.hi) part_area
+  in
+  let evaluate stamp =
+    if feasible () then begin
+      let cut = ref 0 in
+      for e = 0 to num_nets - 1 do
+        let lo = offs.(e) and hi = offs.(e + 1) in
+        let spans = ref 0 in
+        for s = lo to hi - 1 do
+          let p = side.(pins.(s)) in
+          if seen.(p) <> stamp + e then begin
+            seen.(p) <- stamp + e;
+            incr spans
+          end
+        done;
+        if !spans >= 2 then cut := !cut + weights.(e)
+      done;
+      if !cut < !best_cut then begin
+        best_cut := !cut;
+        best_side := Some (Array.copy side)
+      end
+    end
+  in
+  (* depth-first enumeration with module 0 as the most significant digit:
+     the first minimiser found is the lexicographically-least one *)
+  let stamp = ref 0 in
+  let rec enumerate v =
+    if v = n then begin
+      evaluate !stamp;
+      stamp := !stamp + num_nets
+    end
+    else
+      for p = 0 to k - 1 do
+        side.(v) <- p;
+        enumerate (v + 1)
+      done
+  in
+  Array.fill seen 0 k (-1);
+  enumerate 0;
+  match !best_side with
+  | None -> None
+  | Some side -> Some { cut = !best_cut; side }

@@ -1,0 +1,35 @@
+(** Exact small-instance oracles: optimal cuts by exhaustive enumeration.
+
+    Every engine in [Mlpart_partition] is a heuristic, so its cut can sit
+    above the optimum — but never below it, and never disagree with a
+    from-scratch recount.  On instances small enough to enumerate, the
+    optimum is computable exactly, which turns those two invariants into
+    machine-checkable properties (the KaHyPar-style "exact oracle"
+    discipline). *)
+
+type best = { cut : int; side : int array }
+(** An optimal assignment (the lexicographically-first minimiser, so oracle
+    results are deterministic) and its weighted cut. *)
+
+val max_modules : int
+(** Enumeration cap for {!bipartition}: 16 (65536 assignments). *)
+
+val bipartition :
+  ?fixed:int array ->
+  bounds:Mlpart_partition.Bipartition.bounds ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  best option
+(** Minimum weighted cut over all 0/1 assignments whose side-0 area lies
+    within [bounds] and that agree with [fixed] (entries [>= 0] pin a
+    module).  [None] when no assignment is feasible.  Raises
+    [Invalid_argument] above {!max_modules} modules. *)
+
+val kway :
+  ?bounds:Mlpart_partition.Kpartition.bounds ->
+  k:int ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  best option
+(** Minimum weighted k-way cut (nets spanning >= 2 parts) over all
+    assignments, optionally restricted to those with every part area
+    within [bounds].  Enumerates [k^n] assignments; raises
+    [Invalid_argument] when that exceeds [2^18]. *)

@@ -1,0 +1,131 @@
+module Rng = Mlpart_util.Rng
+
+type outcome = Pass | Fail of string | Skip
+
+type 'a t = {
+  name : string;
+  gen : 'a Gen.t;
+  show : 'a -> string;
+  law : 'a -> outcome;
+}
+
+type failure = {
+  property : string;
+  seed : int;
+  case : int;
+  size : int;
+  shrink_steps : int;
+  counterexample : string;
+  message : string;
+}
+
+type stats = { cases : int; skipped : int; failure : failure option }
+
+let default_cases = 50
+let default_max_size = 14
+
+(* Evaluating a law must be total: an escaping exception is itself the
+   counterexample ("engine raised"), not a harness crash. *)
+let eval law x =
+  match law x with
+  | outcome -> outcome
+  | exception e -> Fail (Printf.sprintf "raised %s" (Printexc.to_string e))
+
+let size_for ~max_size case = case mod (max_size + 1)
+
+(* Greedy shrink walk: descend into the first failing child, repeat.
+   [Skip] and [Pass] children are rejected alike — a shrink that no longer
+   meets the precondition is useless as a counterexample.  The budget
+   bounds law evaluations so that adversarial trees terminate. *)
+let shrink law tree first_message =
+  let budget = ref 600 in
+  let rec walk (t : _ Gen.tree) message steps =
+    let rec first_failing (candidates : _ Gen.tree Seq.t) =
+      if !budget <= 0 then None
+      else
+        match candidates () with
+        | Seq.Nil -> None
+        | Seq.Cons (c, rest) -> (
+            decr budget;
+            match eval law c.value with
+            | Fail m -> Some (c, m)
+            | Pass | Skip -> first_failing rest)
+    in
+    match first_failing t.shrinks with
+    | Some (c, m) -> walk c m (steps + 1)
+    | None -> (t.value, message, steps)
+  in
+  walk tree first_message 0
+
+let run_case ~seed ~max_size prop case =
+  let size = size_for ~max_size case in
+  let rng = Rng.stream (Rng.create seed) case in
+  let tree = Gen.generate prop.gen ~size rng in
+  match eval prop.law tree.value with
+  | Pass -> `Pass
+  | Skip -> `Skip
+  | Fail message ->
+      let value, message, shrink_steps = shrink prop.law tree message in
+      `Fail
+        {
+          property = prop.name;
+          seed;
+          case;
+          size;
+          shrink_steps;
+          counterexample = prop.show value;
+          message;
+        }
+
+let check ?(cases = default_cases) ?(max_size = default_max_size) ~seed prop =
+  let ran = ref 0 and skipped = ref 0 in
+  let failure = ref None in
+  let case = ref 0 in
+  while !failure = None && !case < cases do
+    (match run_case ~seed ~max_size prop !case with
+    | `Pass -> incr ran
+    | `Skip -> incr skipped
+    | `Fail f -> failure := Some f);
+    incr case
+  done;
+  { cases = !ran; skipped = !skipped; failure = !failure }
+
+let replay ~seed ~case ?(max_size = default_max_size) prop =
+  match run_case ~seed ~max_size prop case with
+  | `Pass | `Skip -> None
+  | `Fail f -> Some f
+
+let replay_token f = Printf.sprintf "%s:%d:%d" f.property f.seed f.case
+
+let parse_token s =
+  (* the property name may itself contain anything but ':' *)
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some j -> (
+      match String.rindex_opt (String.sub s 0 j) ':' with
+      | None -> None
+      | Some i -> (
+          let name = String.sub s 0 i in
+          let seed = String.sub s (i + 1) (j - i - 1) in
+          let case = String.sub s (j + 1) (String.length s - j - 1) in
+          match (int_of_string_opt seed, int_of_string_opt case) with
+          | Some seed, Some case when name <> "" && case >= 0 ->
+              Some (name, seed, case)
+          | _ -> None))
+
+type packed = Packed : 'a t -> packed
+
+let packed_name (Packed p) = p.name
+
+let check_packed ?cases ?max_size ~seed (Packed p) =
+  check ?cases ?max_size ~seed p
+
+let replay_packed ~seed ~case ?max_size (Packed p) =
+  replay ~seed ~case ?max_size p
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "FAIL %s (seed %d, case %d, size %d, %d shrink(s)): %s on %s — replay: \
+     mlpart selfcheck --replay '%s'"
+    f.property f.seed f.case f.size f.shrink_steps f.message f.counterexample
+    (replay_token f)

@@ -1,0 +1,76 @@
+(** Property runner: counterexample search, greedy shrinking, one-line
+    seed-stamped replay.
+
+    Every case [i] of a run draws its generator from
+    [Rng.stream (Rng.create seed) i] at size [i mod (max_size + 1)] — both
+    are pure functions of [(seed, i)], so the triple rendered in a replay
+    token ([name:seed:case]) deterministically reproduces the exact
+    counterexample, including the shrinking walk (shrink trees are
+    deterministic given the generated tree). *)
+
+type outcome =
+  | Pass
+  | Fail of string  (** the law is violated; the string says how *)
+  | Skip  (** precondition not met; the case is not counted as tested *)
+
+type 'a t = {
+  name : string;
+      (** stable identifier; also the first field of replay tokens.  Use
+          ['/'] for namespacing ([oracle/fm]) — [':'] is reserved. *)
+  gen : 'a Gen.t;
+  show : 'a -> string;  (** counterexample printer (single line) *)
+  law : 'a -> outcome;
+      (** exceptions escaping [law] are converted to [Fail]. *)
+}
+
+type failure = {
+  property : string;
+  seed : int;
+  case : int;  (** 0-based case index within the run *)
+  size : int;
+  shrink_steps : int;  (** accepted shrinks on the walk to the minimum *)
+  counterexample : string;  (** [show] of the shrunk value *)
+  message : string;  (** [Fail] payload at the shrunk value *)
+}
+
+type stats = {
+  cases : int;  (** cases that ran the law to completion (Pass) *)
+  skipped : int;
+  failure : failure option;  (** the first failure, shrunk; stops the run *)
+}
+
+val default_cases : int
+(** 50 cases per property. *)
+
+val default_max_size : int
+(** 14: sizes cycle through [0 .. 14]. *)
+
+val check : ?cases:int -> ?max_size:int -> seed:int -> 'a t -> stats
+(** Run up to [cases] (default 50) generated cases at sizes cycling
+    through [0 .. max_size] (default 14), stopping at the first failure
+    (returned shrunk). *)
+
+val replay : seed:int -> case:int -> ?max_size:int -> 'a t -> failure option
+(** Re-run exactly one case.  Returns [None] when the property now
+    passes (or skips), [Some failure] — shrunk, identical to the original
+    run's — when it still fails. *)
+
+val replay_token : failure -> string
+(** ["<property>:<seed>:<case>"] — the one-line handle accepted by
+    [mlpart selfcheck --replay]. *)
+
+val parse_token : string -> (string * int * int) option
+(** Inverse of {!replay_token}: [Some (property, seed, case)]. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+(** One line: property, location, message, counterexample, replay token. *)
+
+(** {1 Heterogeneous property collections} *)
+
+type packed = Packed : 'a t -> packed
+(** Existential wrapper so property suites mix generator types. *)
+
+val packed_name : packed -> string
+val check_packed : ?cases:int -> ?max_size:int -> seed:int -> packed -> stats
+val replay_packed :
+  seed:int -> case:int -> ?max_size:int -> packed -> failure option

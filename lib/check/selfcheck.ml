@@ -1,0 +1,69 @@
+type config = { seed : int; cases : int; max_size : int }
+
+let cases_budget () =
+  match Sys.getenv_opt "MLPART_SELFCHECK_CASES" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> Property.default_cases)
+  | None -> Property.default_cases
+
+let default =
+  { seed = 1; cases = cases_budget (); max_size = Property.default_max_size }
+
+type prop_report = {
+  name : string;
+  cases : int;
+  skipped : int;
+  failure : Property.failure option;
+}
+
+type report = {
+  props : prop_report list;
+  total_cases : int;
+  total_skipped : int;
+  failures : Property.failure list;
+}
+
+let run ?(progress = fun _ -> ()) (config : config) =
+  let props =
+    List.map
+      (fun packed ->
+        let stats =
+          Property.check_packed ~cases:config.cases ~max_size:config.max_size
+            ~seed:config.seed packed
+        in
+        let r =
+          {
+            name = Property.packed_name packed;
+            cases = stats.Property.cases;
+            skipped = stats.Property.skipped;
+            failure = stats.Property.failure;
+          }
+        in
+        progress r;
+        r)
+      Laws.all
+  in
+  {
+    props;
+    total_cases = List.fold_left (fun acc r -> acc + r.cases) 0 props;
+    total_skipped = List.fold_left (fun acc r -> acc + r.skipped) 0 props;
+    failures = List.filter_map (fun r -> r.failure) props;
+  }
+
+let replay config ~token =
+  match Property.parse_token token with
+  | None ->
+      Error
+        (Printf.sprintf "malformed replay token %S (expected NAME:SEED:CASE)"
+           token)
+  | Some (name, seed, case) -> (
+      match Laws.find name with
+      | None -> Error (Printf.sprintf "unknown property %S" name)
+      | Some packed ->
+          Ok
+            (Property.replay_packed ~seed ~case ~max_size:config.max_size
+               packed))
+
+let property_names () = List.map Property.packed_name Laws.all

@@ -1,0 +1,45 @@
+(** The selfcheck driver: run the whole property suite under one budget.
+
+    Used in two modes through the same code path: CI smoke (small case
+    budget, seconds) and deep overnight sweeps (crank
+    [MLPART_SELFCHECK_CASES] up).  Every failure carries a replay token;
+    [mlpart selfcheck --replay TOKEN] re-runs exactly that case. *)
+
+type config = {
+  seed : int;
+  cases : int;  (** per property *)
+  max_size : int;  (** instance sizes cycle through [0 .. max_size] *)
+}
+
+val default : config
+(** seed 1, [cases_budget ()] cases, max size 14. *)
+
+val cases_budget : unit -> int
+(** The [MLPART_SELFCHECK_CASES] environment variable when it parses as a
+    positive integer, else 50 — mirroring the fuzz harness's budget knob. *)
+
+type prop_report = {
+  name : string;
+  cases : int;  (** cases that ran to completion *)
+  skipped : int;
+  failure : Property.failure option;
+}
+
+type report = {
+  props : prop_report list;
+  total_cases : int;
+  total_skipped : int;
+  failures : Property.failure list;
+}
+
+val run : ?progress:(prop_report -> unit) -> config -> report
+(** Check every property in {!Laws.all}; [progress] fires after each one
+    (the CLI prints a line per property as it completes). *)
+
+val replay : config -> token:string -> (Property.failure option, string) result
+(** Re-run one case from a replay token.  [Ok None]: the case passes or
+    skips now (the bug is fixed, or the token is from another build).
+    [Ok (Some f)]: still failing, shrunk counterexample attached.
+    [Error msg]: malformed token or unknown property. *)
+
+val property_names : unit -> string list

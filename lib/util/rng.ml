@@ -24,6 +24,16 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+let stream t i =
+  if i < 0 then invalid_arg "Rng.stream: negative stream index";
+  (* Random access into the family of generators that [split] would reach
+     by repeated draws, without consuming anything from [t]: jump the
+     SplitMix64 state ahead by [i + 1] gammas (the state walk is additive,
+     so the jump is O(1)) and mix, exactly as one [bits64] draw would.
+     Mixing decorrelates neighbouring indices. *)
+  let z = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  { state = mix z }
+
 let int t bound =
   assert (bound > 0);
   let mask = max_int in

@@ -19,6 +19,14 @@ val split : t -> t
     statistically independent of the remainder of [t]'s stream.  Used to give
     each run of a multi-run experiment its own generator. *)
 
+val stream : t -> int -> t
+(** [stream t i] is the [i]-th sub-generator of [t]'s current state: equal
+    states and equal indices always yield equal streams, distinct indices
+    yield independent ones, and [t] itself is not advanced.  The O(1)
+    random-access counterpart of calling {!split} [i + 1] times — the
+    property-testing harness uses it to re-derive the generator of case [i]
+    directly from a replay token.  Raises [Invalid_argument] if [i < 0]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

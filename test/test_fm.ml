@@ -602,6 +602,52 @@ let test_lsmc_single_descent_equals_fm () =
   let fm = Fm.run (Rng.create 45) h in
   check Alcotest.int "one descent = one FM run" fm.Fm.cut lsmc.Lsmc.cut
 
+(* ---- engine coverage on the known two-cliques instance ---- *)
+
+(* Seeded with the optimal split (cut 1, only the bridge net): no engine
+   may lose it, and each must honour its balance contract — weighted-area
+   bounds for LSMC and Genetic, exact side populations for KL (pair swaps
+   preserve counts, not areas). *)
+let test_engines_preserve_two_cliques_optimum () =
+  let h = two_cliques () in
+  let init = Array.init 16 (fun v -> if v < 8 then 0 else 1) in
+  let kl = Kl.run ~init (Rng.create 91) h in
+  check Alcotest.int "kl cut consistent" (Fm.cut_of h kl.Kl.side) kl.Kl.cut;
+  check Alcotest.int "kl preserves the optimum" 1 kl.Kl.cut;
+  check Alcotest.int "kl side sizes unchanged" 8
+    (Array.fold_left (fun acc s -> acc + (1 - s)) 0 kl.Kl.side);
+  let lsmc =
+    Lsmc.run ~init ~config:{ Lsmc.default with descents = 4 } (Rng.create 92) h
+  in
+  check Alcotest.int "lsmc cut consistent" (Fm.cut_of h lsmc.Lsmc.side)
+    lsmc.Lsmc.cut;
+  check Alcotest.int "lsmc preserves the optimum" 1 lsmc.Lsmc.cut;
+  check Alcotest.bool "lsmc balanced" true (balanced h lsmc.Lsmc.side);
+  let ga = Genetic.run ~init (Rng.create 93) h in
+  check Alcotest.int "genetic cut consistent" (Fm.cut_of h ga.Genetic.side)
+    ga.Genetic.cut;
+  check Alcotest.int "genetic preserves the optimum" 1 ga.Genetic.cut;
+  check Alcotest.bool "genetic balanced" true (balanced h ga.Genetic.side)
+
+let test_engines_improve_bad_two_cliques_split () =
+  (* the alternating start cuts 16 edges inside each clique; every engine
+     must improve on it, not merely preserve it *)
+  let h = two_cliques () in
+  let init = Array.init 16 (fun v -> v land 1) in
+  let start = Fm.cut_of h init in
+  let kl = Kl.run ~init (Rng.create 94) h in
+  check Alcotest.bool "kl improves" true (kl.Kl.cut < start);
+  check Alcotest.int "kl side sizes unchanged" 8
+    (Array.fold_left (fun acc s -> acc + (1 - s)) 0 kl.Kl.side);
+  let lsmc =
+    Lsmc.run ~init ~config:{ Lsmc.default with descents = 4 } (Rng.create 95) h
+  in
+  check Alcotest.bool "lsmc improves" true (lsmc.Lsmc.cut < start);
+  check Alcotest.bool "lsmc balanced" true (balanced h lsmc.Lsmc.side);
+  let ga = Genetic.run ~init (Rng.create 96) h in
+  check Alcotest.bool "genetic improves" true (ga.Genetic.cut < start);
+  check Alcotest.bool "genetic balanced" true (balanced h ga.Genetic.side)
+
 let () =
   Alcotest.run "fm-engines"
     [
@@ -695,5 +741,12 @@ let () =
           Alcotest.test_case "monotone" `Quick test_lsmc_no_worse_than_first_descent;
           Alcotest.test_case "single descent = FM" `Quick
             test_lsmc_single_descent_equals_fm;
+        ] );
+      ( "engine-coverage",
+        [
+          Alcotest.test_case "preserve two-cliques optimum" `Quick
+            test_engines_preserve_two_cliques_optimum;
+          Alcotest.test_case "improve bad two-cliques split" `Quick
+            test_engines_improve_bad_two_cliques_split;
         ] );
     ]

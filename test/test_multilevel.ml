@@ -342,6 +342,29 @@ let test_ml_run_starts_deadline () =
   check Alcotest.int "untimed cut" untimed.Ml.cut full.Ml.cut;
   check Alcotest.(array int) "untimed side" untimed.Ml.side full.Ml.side
 
+(* Golden determinism: recorded cuts for a fixed seed.  Any change here
+   means the seeded pipeline output changed — intentional algorithm edits
+   must update the constants; accidental nondeterminism (or a pool-size
+   dependence) fails loudly. *)
+let test_golden_vcycles_cut () =
+  let h = random_instance ~modules:200 90 in
+  let r = Ml.run_vcycles ~config:Ml.mlc ~cycles:2 (Rng.create 91) h in
+  check Alcotest.int "recorded 2-cycle cut" 23 r.Ml.cut;
+  check Alcotest.int "cut recount" (Fm.cut_of h r.Ml.side) r.Ml.cut
+
+let test_golden_run_starts_cut () =
+  let h = random_instance ~modules:200 90 in
+  let seq = Ml.run_starts ~config:Ml.mlc ~starts:4 (Rng.create 92) h in
+  check Alcotest.int "recorded 4-start cut" 23 seq.Ml.cut;
+  check Alcotest.int "cut recount" (Fm.cut_of h seq.Ml.side) seq.Ml.cut;
+  (* the same recorded value must hold through a domain pool *)
+  let par =
+    Pool.with_pool ~jobs:3 (fun pool ->
+        Ml.run_starts ~config:Ml.mlc ~pool ~starts:4 (Rng.create 92) h)
+  in
+  check Alcotest.int "pooled run matches the record" seq.Ml.cut par.Ml.cut;
+  check Alcotest.(array int) "pooled side identical" seq.Ml.side par.Ml.side
+
 let test_vcycles_rejects_zero () =
   let h = random_instance 27 in
   (match Ml.run_vcycles ~cycles:0 (Rng.create 1) h with
@@ -485,6 +508,9 @@ let () =
           Alcotest.test_case "vcycles monotone" `Slow test_vcycles_monotone;
           Alcotest.test_case "one vcycle = run" `Quick test_vcycles_one_equals_run;
           Alcotest.test_case "vcycles reject zero" `Quick test_vcycles_rejects_zero;
+          Alcotest.test_case "golden vcycles cut" `Quick test_golden_vcycles_cut;
+          Alcotest.test_case "golden run_starts cut" `Quick
+            test_golden_run_starts_cut;
           Alcotest.test_case "run_starts pool identical" `Quick
             test_ml_run_starts_pool_identical;
           Alcotest.test_case "run_starts deadline" `Quick

@@ -349,6 +349,65 @@ let prop_kp_soed_dominates_cut =
       let kp = Kp.random (Rng.create (seed + 4)) h ~k:4 in
       Kp.sum_degrees kp >= Kp.cut kp)
 
+(* ---- Objective ---- *)
+
+module Objective = Mlpart_partition.Objective
+
+(* sample(): net0 = {0,1} w1, net1 = {1,2,3} w2, net2 = {0,3,4} w1 *)
+
+let test_obj_bipartition () =
+  let h = sample () in
+  (* net0 internal to part 0; net1 and net2 both span 2 parts *)
+  let r = Objective.evaluate h [| 0; 0; 1; 1; 1 |] in
+  check Alcotest.int "parts" 2 r.Objective.parts;
+  check Alcotest.int "cut" 3 r.Objective.net_cut;
+  check Alcotest.int "soed" 3 r.Objective.sum_degrees;
+  check Alcotest.int "absorbed" 1 r.Objective.absorbed;
+  check Alcotest.(array int) "areas" [| 3; 12 |] r.Objective.part_areas;
+  check Alcotest.int "largest" 12 r.Objective.largest_part;
+  check Alcotest.int "smallest" 3 r.Objective.smallest_part
+
+let test_obj_three_parts () =
+  let h = sample () in
+  (* net2 now spans 3 parts: same cut as above but SOED rises by 1 *)
+  let r = Objective.evaluate h [| 0; 0; 1; 1; 2 |] in
+  check Alcotest.int "parts" 3 r.Objective.parts;
+  check Alcotest.int "cut" 3 r.Objective.net_cut;
+  check Alcotest.int "soed" 4 r.Objective.sum_degrees;
+  check Alcotest.int "absorbed" 1 r.Objective.absorbed;
+  check Alcotest.(array int) "areas" [| 3; 7; 5 |] r.Objective.part_areas;
+  check Alcotest.int "largest" 7 r.Objective.largest_part;
+  check Alcotest.int "smallest" 3 r.Objective.smallest_part
+
+let test_obj_single_part () =
+  let h = sample () in
+  let r = Objective.evaluate h [| 0; 0; 0; 0; 0 |] in
+  check Alcotest.int "parts" 1 r.Objective.parts;
+  check Alcotest.int "cut" 0 r.Objective.net_cut;
+  check Alcotest.int "soed" 0 r.Objective.sum_degrees;
+  (* every net absorbed: total weight 1 + 2 + 1 *)
+  check Alcotest.int "absorbed" 4 r.Objective.absorbed;
+  check Alcotest.(array int) "areas" [| 15 |] r.Objective.part_areas
+
+let test_obj_weighted_net_internal () =
+  let h = sample () in
+  (* the weight-2 net is the only absorbed one; both unit nets are cut *)
+  let r = Objective.evaluate h [| 1; 0; 0; 0; 1 |] in
+  check Alcotest.int "cut" 2 r.Objective.net_cut;
+  check Alcotest.int "soed" 2 r.Objective.sum_degrees;
+  check Alcotest.int "absorbed" 2 r.Objective.absorbed
+
+let test_obj_rejects_bad_input () =
+  let h = sample () in
+  check Alcotest.bool "length mismatch" true
+    (match Objective.evaluate h [| 0; 1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check Alcotest.bool "negative part" true
+    (match Objective.evaluate h [| 0; 0; -1; 1; 1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let () =
   Alcotest.run "partition-state"
     [
@@ -395,5 +454,15 @@ let () =
           Alcotest.test_case "move feasibility" `Quick test_kp_move_feasibility;
           qtest prop_kp_incremental;
           qtest prop_kp_soed_dominates_cut;
+        ] );
+      ( "objective",
+        [
+          Alcotest.test_case "bipartition metrics" `Quick test_obj_bipartition;
+          Alcotest.test_case "three parts" `Quick test_obj_three_parts;
+          Alcotest.test_case "single part" `Quick test_obj_single_part;
+          Alcotest.test_case "weighted net internal" `Quick
+            test_obj_weighted_net_internal;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_obj_rejects_bad_input;
         ] );
     ]

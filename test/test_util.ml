@@ -35,6 +35,37 @@ let test_rng_split_differs () =
   check Alcotest.bool "split stream differs from parent" true
     (Rng.bits64 a <> Rng.bits64 b)
 
+let test_rng_stream_deterministic () =
+  (* equal state + equal index => equal stream, any draw order *)
+  let a = Rng.stream (Rng.create 7) 4 and b = Rng.stream (Rng.create 7) 4 in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "same substream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_stream_does_not_advance_parent () =
+  let t = Rng.create 7 in
+  let before = Rng.bits64 (Rng.copy t) in
+  ignore (Rng.stream t 3);
+  ignore (Rng.stream t 100);
+  check Alcotest.int64 "parent stream untouched" before (Rng.bits64 t)
+
+let test_rng_stream_indices_differ () =
+  let t = Rng.create 7 in
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 63 do
+    let v = Rng.bits64 (Rng.stream t i) in
+    check Alcotest.bool
+      (Printf.sprintf "stream %d distinct" i)
+      false (Hashtbl.mem seen v);
+    Hashtbl.replace seen v ()
+  done
+
+let test_rng_stream_negative_rejected () =
+  check Alcotest.bool "negative index raises" true
+    (match Rng.stream (Rng.create 1) (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let test_rng_int_bounds () =
   let rng = Rng.create 5 in
   for _ = 1 to 10_000 do
@@ -317,6 +348,14 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
           Alcotest.test_case "split differs" `Quick test_rng_split_differs;
+          Alcotest.test_case "stream deterministic" `Quick
+            test_rng_stream_deterministic;
+          Alcotest.test_case "stream leaves parent" `Quick
+            test_rng_stream_does_not_advance_parent;
+          Alcotest.test_case "stream indices differ" `Quick
+            test_rng_stream_indices_differ;
+          Alcotest.test_case "stream negative rejected" `Quick
+            test_rng_stream_negative_rejected;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
           Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
