@@ -15,7 +15,7 @@ module Algos = Mlpart_experiments.Algos
 module Suite = Mlpart_gen.Suite
 module Rng = Mlpart_util.Rng
 
-let kernels ?json () =
+let kernels ?json ~jobs () =
   (* Fail on an unwritable --json path up front, not after minutes of
      benchmarking. *)
   (match json with
@@ -31,6 +31,10 @@ let kernels ?json () =
   let balu = h "balu" in
   let primary1 = h "primary1" in
   let rng = Rng.create 42 in
+  (* Intra-run parallelism for the pipeline kernels; [None] at --jobs 1
+     exercises the sequential paths.  Outputs are bit-identical either
+     way — only the timings move. *)
+  let pool = if jobs > 1 then Some (Mlpart_util.Pool.get ~jobs) else None in
   let stage name f = Test.make ~name (Staged.stage f) in
   (* Refinement-only kernel: the hierarchy and coarsest-level solution are
      built once, so the staged function times exactly the uncoarsening
@@ -53,7 +57,7 @@ let kernels ?json () =
     in
     let arena = Mlpart_partition.Fm.create_arena ~h:balu () in
     stage "phases/refine" (fun () ->
-        ignore (Ml.refine_up c ~arena (Rng.split rng) hier coarse))
+        ignore (Ml.refine_up c ?pool ~arena (Rng.split rng) hier coarse))
   in
   let tests =
     Test.make_grouped ~name:"kernels"
@@ -64,9 +68,12 @@ let kernels ?json () =
         (* Table III kernel: one CLIP run. *)
         stage "table3/clip" (fun () ->
             ignore (Algos.clip.Algos.run (Rng.split rng) balu));
-        (* Table IV kernel: one multilevel MLc run at R = 1. *)
+        (* Table IV kernel: one multilevel MLc run at R = 1, with the
+           domain pool threaded into the run itself. *)
         stage "table4/mlc" (fun () ->
-            ignore ((Algos.mlc 1.0).Algos.run (Rng.split rng) balu));
+            ignore
+              (Ml.run ~config:(Ml.with_ratio Ml.mlc 1.0) ?pool (Rng.split rng)
+                 balu));
         (* Tables V/VI kernel: slow coarsening (R = 0.33). *)
         stage "table5_6/mlc-r0.33" (fun () ->
             ignore ((Algos.mlc 0.33).Algos.run (Rng.split rng) balu));
@@ -82,12 +89,13 @@ let kernels ?json () =
         (* Figure 4 kernel: Match coarsening at R = 0.5. *)
         stage "figure4/match" (fun () ->
             ignore
-              (Mlpart_multilevel.Match.run (Rng.split rng) primary1 ~ratio:0.5));
+              (Mlpart_multilevel.Match.run ?pool (Rng.split rng) primary1
+                 ~ratio:0.5));
         (* Extras kernels. *)
         stage "extras/eig" (fun () ->
             ignore (Mlpart_placement.Spectral.run balu));
         stage "extras/rb4" (fun () ->
-            ignore (Mlpart_multilevel.Rb.run (Rng.split rng) balu ~k:4));
+            ignore (Mlpart_multilevel.Rb.run ?pool (Rng.split rng) balu ~k:4));
         stage "extras/topdown-place" (fun () ->
             ignore (Mlpart_placement.Topdown.run (Rng.split rng) balu));
         (* Phase kernel: uncoarsening refinement sweep alone. *)
@@ -95,9 +103,11 @@ let kernels ?json () =
         (* Substrate kernels. *)
         stage "substrate/induce" (fun () ->
             let cluster_of, _ =
-              Mlpart_multilevel.Match.run (Rng.split rng) primary1 ~ratio:1.0
+              Mlpart_multilevel.Match.run ?pool (Rng.split rng) primary1
+                ~ratio:1.0
             in
-            ignore (Mlpart_hypergraph.Hypergraph.induce primary1 cluster_of));
+            ignore
+              (Mlpart_hypergraph.Hypergraph.induce ?pool primary1 cluster_of));
         stage "substrate/gordian-cg" (fun () ->
             ignore (Mlpart_placement.Gordian.run balu));
       ]
@@ -152,8 +162,30 @@ let kernels ?json () =
           | _ -> ())
         (Trace.events ());
       Trace.disable ();
+      (* Top-level run metadata makes every BENCH_*.json self-describing:
+         which jobs count produced it, from which revision, and when. *)
+      let git_rev =
+        match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+        | ic ->
+            let line = try input_line ic with End_of_file -> "unknown" in
+            ignore (Unix.close_process_in ic);
+            line
+        | exception _ -> "unknown"
+      in
+      let timestamp =
+        let tm = Unix.gmtime (Unix.gettimeofday ()) in
+        Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+          tm.Unix.tm_sec
+      in
       let buf = Buffer.create 1024 in
-      Buffer.add_string buf "{\n  \"kernels\": [\n";
+      Buffer.add_string buf "{\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"meta\": {\"jobs\": %d, \"git_rev\": %S, \"generated_at\": \
+            %S},\n"
+           jobs git_rev timestamp);
+      Buffer.add_string buf "  \"kernels\": [\n";
       let last = List.length rows - 1 in
       List.iteri
         (fun i (name, ns) ->
@@ -221,11 +253,11 @@ let () =
     | "extras" -> Tables.extras p
     | "recursive" -> Tables.recursive p
     | "all" -> Tables.all p
-    | "kernels" -> kernels ?json:!json ()
+    | "kernels" -> kernels ?json:!json ~jobs:!jobs ()
     | other -> failwith (Printf.sprintf "unknown experiment %S" other)
   in
   match List.rev !selected with
   | [] ->
       Tables.all p;
-      kernels ?json:!json ()
+      kernels ?json:!json ~jobs:!jobs ()
   | names -> List.iter dispatch names

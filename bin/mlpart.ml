@@ -115,9 +115,13 @@ let runs_arg =
 let jobs_arg =
   Arg.(value & opt int 1
        & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Domains used to run independent runs in parallel.  Every \
-                 run draws from its own generator pre-split from --seed, so \
-                 the reported cut is identical for any job count.")
+           ~doc:"Domains used for parallelism.  With --runs > 1, \
+                 independent runs fan out across domains; with a single \
+                 run, the ML pipeline itself parallelizes (match rating, \
+                 coarse CSR construction, round-based refinement sweeps) \
+                 using synchronous rounds with deterministic commit \
+                 ordering.  Either way the reported cut and assignment are \
+                 bit-identical for any job count.")
 
 let lenient_arg =
   Arg.(value & flag
@@ -270,6 +274,12 @@ let bipartition_cmd =
     let rng = Rng.create seed in
     let deadline = deadline_of timeout in
     let fm_config base = { base with Fm.tolerance } in
+    (* A single run can't fan out across runs, so hand the domains to the
+       run itself; the ML pipeline's synchronous rounds keep the result
+       identical to --jobs 1. *)
+    let intra_pool =
+      if runs <= 1 && jobs > 1 then Some (Pool.get ~jobs) else None
+    in
     let one rng =
       match engine with
       | `Flat_fm ->
@@ -293,7 +303,7 @@ let bipartition_cmd =
             { base with Ml.ratio; threshold;
               engine = fm_config base.Ml.engine }
           in
-          let r = Ml.run ~config rng h in
+          let r = Ml.run ~config ?pool:intra_pool rng h in
           (r.Ml.side, r.Ml.cut)
     in
     let (side, cut), completed = best_over_runs ?deadline ~runs ~jobs rng one snd in

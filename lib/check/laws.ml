@@ -7,6 +7,8 @@ module Objective = Mlpart_partition.Objective
 module Multiway = Mlpart_partition.Multiway
 module Match = Mlpart_multilevel.Match
 module Ml = Mlpart_multilevel.Ml
+module Rb = Mlpart_multilevel.Rb
+module Pool = Mlpart_util.Pool
 
 open Property
 
@@ -353,6 +355,50 @@ let vcycle_monotone =
           else Pass);
     }
 
+(* Intra-run parallelism is jobs-invariant: a full multilevel run (and a
+   recursive bisection) on a pool of 4 domains returns the bit-identical
+   partition and cut of the sequential run.  Threshold 4 forces a real
+   hierarchy on the adversarial Hgen instances, and [rounds_min_modules = 0]
+   forces the round-based refinement pre-pass at every level, so all three
+   parallel stages (match rating, induce, rounds) are exercised. *)
+let jobs_invariance =
+  Packed
+    {
+      name = "laws/jobs-invariance";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let config =
+            { Ml.mlc with Ml.threshold = 4; Ml.rounds_min_modules = 0 }
+          in
+          let seq = Ml.run ~config (Rng.create seed) h in
+          let rb_config = { Rb.default with Rb.ml = config } in
+          let rb_seq = Rb.run ~config:rb_config (Rng.create seed) h ~k:2 in
+          let check_jobs jobs =
+            Pool.with_pool ~jobs (fun pool ->
+                let par = Ml.run ~config ~pool (Rng.create seed) h in
+                if par.Ml.cut <> seq.Ml.cut then
+                  failf "jobs=%d cut %d <> sequential cut %d" jobs par.Ml.cut
+                    seq.Ml.cut
+                else if par.Ml.side <> seq.Ml.side then
+                  failf "jobs=%d partition differs from sequential" jobs
+                else begin
+                  let rb_par =
+                    Rb.run ~config:rb_config ~pool (Rng.create seed) h ~k:2
+                  in
+                  if rb_par.Rb.cut <> rb_seq.Rb.cut then
+                    failf "jobs=%d rb cut %d <> sequential %d" jobs
+                      rb_par.Rb.cut rb_seq.Rb.cut
+                  else if rb_par.Rb.side <> rb_seq.Rb.side then
+                    failf "jobs=%d rb partition differs from sequential" jobs
+                  else Pass
+                end)
+          in
+          match check_jobs 4 with Pass -> check_jobs 2 | other -> other);
+    }
+
 (* repair is total and idempotent: one pass fixes everything [validate]
    checks; a second pass is the identity. *)
 let repair_idempotent =
@@ -401,6 +447,7 @@ let law_properties =
     coarsen_project;
     fixed_levels;
     vcycle_monotone;
+    jobs_invariance;
     repair_idempotent;
   ]
 

@@ -399,8 +399,94 @@ let validate_clustering fname t cluster_of =
    Duplicate merging dedups by hash of the sorted run in first-occurrence
    order.  No per-net allocation, no intermediate (pins, weight) tuples,
    no re-validation. *)
-let induce ?(name = "") ?(merge_duplicates = false) ?arena t cluster_of =
+(* Parallel variant of the two-pass CSR induce: per-range counting with
+   per-slot mark arrays, prefix-sum placement, parallel fill.  Coarse nets
+   land at positions computed from the scans — a pure function of the fine
+   net order — so the output arrays are byte-identical to the sequential
+   path for any pool size.  Duplicate merging is inherently first-occurrence
+   sequential, so only the non-merging path parallelizes. *)
+let induce_parallel ~name pool t cluster_of ~k ~coarse_areas =
+  let module Pool = Mlpart_util.Pool in
+  let fine_offsets = t.net_offsets in
+  let fine_pins = t.net_pins in
+  let m = num_nets t in
+  let slots = Pool.size pool in
+  let marks = Array.init slots (fun _ -> Array.make k 0) in
+  let stamps = Array.make slots 0 in
+  let scratches = Array.init slots (fun _ -> Array.make k 0) in
+  (* pass 1: distinct-cluster count per net (0 marks a dropped net) *)
+  let cnt = Array.make m 0 in
+  let keep = Array.make m 0 in
+  Pool.parallel_chunks pool ~n:m ~body:(fun ~slot ~lo ~hi ->
+      let mark = marks.(slot) in
+      for e = lo to hi - 1 do
+        stamps.(slot) <- stamps.(slot) + 1;
+        let s = stamps.(slot) in
+        let c = ref 0 in
+        for i = fine_offsets.(e) to fine_offsets.(e + 1) - 1 do
+          let cl = cluster_of.(fine_pins.(i)) in
+          if mark.(cl) <> s then begin
+            mark.(cl) <- s;
+            incr c
+          end
+        done;
+        if !c >= 2 then begin
+          cnt.(e) <- !c;
+          keep.(e) <- 1
+        end
+      done);
+  (* prefix sums place every surviving net and its pin run *)
+  let kept_at = Array.make (m + 1) 0 in
+  let pin_at = Array.make (m + 1) 0 in
+  let kept = Pool.parallel_scan pool ~n:m ~src:keep ~dst:kept_at in
+  let total = Pool.parallel_scan pool ~n:m ~src:cnt ~dst:pin_at in
+  let coarse_offsets = Array.make (kept + 1) 0 in
+  let coarse_pins = Array.make total 0 in
+  let coarse_weights = Array.make kept 0 in
+  (* pass 2: re-derive each surviving net's sorted cluster run into its
+     scanned slot *)
+  Pool.parallel_chunks pool ~n:m ~body:(fun ~slot ~lo ~hi ->
+      let mark = marks.(slot) in
+      let scratch = scratches.(slot) in
+      for e = lo to hi - 1 do
+        if keep.(e) = 1 then begin
+          stamps.(slot) <- stamps.(slot) + 1;
+          let s = stamps.(slot) in
+          let c = ref 0 in
+          for i = fine_offsets.(e) to fine_offsets.(e + 1) - 1 do
+            let cl = cluster_of.(fine_pins.(i)) in
+            if mark.(cl) <> s then begin
+              mark.(cl) <- s;
+              scratch.(!c) <- cl;
+              incr c
+            end
+          done;
+          let c = !c in
+          sort_ints scratch 0 c;
+          let j = kept_at.(e) in
+          let off = pin_at.(e) in
+          Array.blit scratch 0 coarse_pins off c;
+          coarse_weights.(j) <- t.net_weights.(e);
+          coarse_offsets.(j + 1) <- off + c
+        end
+      done);
+  ( make_csr ~name ~areas:coarse_areas ~net_offsets:coarse_offsets
+      ~net_pins:coarse_pins ~net_weights:coarse_weights (),
+    k )
+
+let rec induce ?(name = "") ?(merge_duplicates = false) ?arena ?pool t
+    cluster_of =
   let k, coarse_areas = validate_clustering "Hypergraph.induce" t cluster_of in
+  match pool with
+  | Some p
+    when Mlpart_util.Pool.size p > 1 && not merge_duplicates && num_nets t > 0
+    ->
+      induce_parallel ~name p t cluster_of ~k ~coarse_areas
+  | _ -> induce_sequential ~name ~merge_duplicates ?arena t cluster_of ~k
+           ~coarse_areas
+
+and induce_sequential ~name ~merge_duplicates ?arena t cluster_of ~k
+    ~coarse_areas =
   let ar = match arena with Some a -> a | None -> create_arena () in
   ar.mark <- ensure_ints ar.mark k;
   ar.scratch <- ensure_ints ar.scratch k;

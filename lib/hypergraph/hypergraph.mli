@@ -174,6 +174,7 @@ val induce :
   ?name:string ->
   ?merge_duplicates:bool ->
   ?arena:arena ->
+  ?pool:Mlpart_util.Pool.t ->
   t ->
   int array ->
   t * int
@@ -192,6 +193,12 @@ val induce :
     is emitted directly — counting pass, then a fill pass — without an
     intermediate (pins, weight) list; pass [arena] to reuse scratch across
     calls (see {!create_arena}).
+
+    [pool] parallelizes both passes (per-range counting, prefix-sum
+    placement, parallel fill) on the non-merging path; the output is
+    byte-identical to the sequential path for any pool size.  With
+    [merge_duplicates] the pool is ignored (first-occurrence merging is
+    order-sequential).
 
     Returns the coarse hypergraph and [k], the number of clusters. *)
 

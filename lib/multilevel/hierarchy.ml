@@ -27,7 +27,7 @@ let project_fixed cluster_of k fixed =
   coarse
 
 let build ~threshold ~ratio ~match_net_size ~merge_duplicates ~max_levels
-    ?(cluster_area_factor = 4.0) ?fixed ?pair_ok rng h =
+    ?(cluster_area_factor = 4.0) ?fixed ?pair_ok ?pool rng h =
   let max_cluster_area =
     Stdlib.max 2
       (int_of_float
@@ -51,7 +51,7 @@ let build ~threshold ~ratio ~match_net_size ~merge_duplicates ~max_levels
       let cluster_of, k =
         Trace.span ~cat:"coarsen" "coarsen/match" (fun () ->
             Match.run ~max_net_size:match_net_size ~matchable ?pair_ok
-              ~max_cluster_area rng h ~ratio)
+              ~max_cluster_area ?pool rng h ~ratio)
       in
       if k >= H.num_modules h then begin
         (* matching found no reduction: the hierarchy stops here *)
@@ -63,7 +63,8 @@ let build ~threshold ~ratio ~match_net_size ~merge_duplicates ~max_levels
       else begin
         let coarser, _ =
           Trace.span ~cat:"coarsen" "coarsen/induce" (fun () ->
-              H.induce ~name:(H.name h) ~merge_duplicates ~arena h cluster_of)
+              H.induce ~name:(H.name h) ~merge_duplicates ~arena ?pool h
+                cluster_of)
         in
         if Trace.enabled () then
           Trace.complete ~cat:"coarsen"

@@ -28,12 +28,15 @@ val build :
   ?cluster_area_factor:float ->
   ?fixed:int array ->
   ?pair_ok:(int -> int -> bool) ->
+  ?pool:Mlpart_util.Pool.t ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
   t
 (** [pair_ok] restricts matching beyond the fixed-module rule (used by
     V-cycles to keep clusters side-pure).  Coarsening stops early if a
-    Match pass achieves no contraction.
+    Match pass achieves no contraction.  [pool] parallelizes each level's
+    match rating and induce; the hierarchy is bit-identical with and
+    without it.
 
     Cluster areas are capped at [cluster_area_factor] (default 4.0) times
     the average module area of a threshold-sized netlist

@@ -1,25 +1,47 @@
 module H = Mlpart_hypergraph.Hypergraph
 module Rng = Mlpart_util.Rng
+module Pool = Mlpart_util.Pool
 module Metrics = Mlpart_obs.Metrics
+module Trace = Mlpart_obs.Trace
 
 let m_pairs = Metrics.counter "match.pairs"
 let m_singletons = Metrics.counter "match.singletons"
+let m_rounds = Metrics.counter "match.rounds"
+
+let h_round_commits =
+  Metrics.histogram "match.round_commits"
+    ~buckets:[| 1; 4; 16; 64; 256; 1024; 4096 |]
+
+(* Per-participant rating scratch: [conn] is a dense accumulator indexed by
+   module id, [nbrs] collects the touched indices for O(degree) reset.
+   Scratch contents never reach the output — which slot rates which module
+   is scheduling-dependent, but ratings themselves are pure. *)
+type scratch = { conn : float array; nbrs : int array }
 
 let run ?(max_net_size = 10) ?(matchable = fun _ -> true)
-    ?(pair_ok = fun _ _ -> true) ?(max_cluster_area = max_int) rng h ~ratio =
+    ?(pair_ok = fun _ _ -> true) ?(max_cluster_area = max_int) ?pool rng h
+    ~ratio =
   if not (ratio > 0.0 && ratio <= 1.0) then
     invalid_arg "Match.run: ratio outside (0, 1]";
   let n = H.num_modules h in
-  let cluster_of = Array.make n (-1) in
-  let conn = Array.make n 0.0 in
   let perm = Rng.permutation rng n in
-  let k = ref 0 in
-  let n_match = ref 0 in
+  (* Rank in the seed permutation is the deterministic tie-break priority:
+     it is independent of visit order (unlike the old sequential greedy
+     loop) yet still varies with the seed, preserving multi-start
+     diversity. *)
+  let rank = Array.make n 0 in
+  Array.iteri (fun i v -> rank.(v) <- i) perm;
+  let mate = Array.make n (-1) in
   let target = ratio *. float_of_int n in
-  (* Best unmatched neighbour of [v] by the conn function; scratch array
-     [conn] is reset via the collected neighbour list. *)
-  let best_neighbour v =
-    let neighbours = ref [] in
+  let n_match = ref 0 in
+  let slots = match pool with Some p -> Pool.size p | None -> 1 in
+  let scratch =
+    Array.init slots (fun _ -> { conn = Array.make n 0.0; nbrs = Array.make n 0 })
+  in
+  (* Highest-rated feasible unmatched partner of [v], ties to lowest rank.
+     Reads only round-start state ([mate] is frozen during rating). *)
+  let best_neighbour s v =
+    let n_nbrs = ref 0 in
     let inv_av = 1.0 /. float_of_int (H.area h v) in
     H.iter_nets_of h v (fun e ->
         let size = H.net_size h e in
@@ -29,50 +51,113 @@ let run ?(max_net_size = 10) ?(matchable = fun _ -> true)
           in
           H.iter_pins_of h e (fun w ->
               if
-                w <> v && cluster_of.(w) < 0 && matchable w && pair_ok v w
+                w <> v && mate.(w) < 0 && matchable w && pair_ok v w
                 && H.area h v + H.area h w <= max_cluster_area
               then begin
-                if conn.(w) = 0.0 then neighbours := w :: !neighbours;
-                conn.(w) <-
-                  conn.(w)
+                if s.conn.(w) = 0.0 then begin
+                  s.nbrs.(!n_nbrs) <- w;
+                  incr n_nbrs
+                end;
+                s.conn.(w) <-
+                  s.conn.(w)
                   +. (contribution *. inv_av /. float_of_int (H.area h w))
               end)
         end);
     let best = ref (-1) in
     let best_conn = ref 0.0 in
-    List.iter
-      (fun w ->
-        if conn.(w) > !best_conn then begin
-          best_conn := conn.(w);
-          best := w
-        end;
-        conn.(w) <- 0.0)
-      !neighbours;
-    !best
+    for i = 0 to !n_nbrs - 1 do
+      let w = s.nbrs.(i) in
+      let c = s.conn.(w) in
+      if c > !best_conn || (c = !best_conn && !best >= 0 && rank.(w) < rank.(!best))
+      then begin
+        best_conn := c;
+        best := w
+      end;
+      s.conn.(w) <- 0.0
+    done;
+    (!best, !best_conn)
   in
-  (let j = ref 0 in
-   while float_of_int !n_match < target && !j < n do
-     let v = perm.(!j) in
-     if cluster_of.(v) < 0 then begin
-       let c = !k in
-       incr k;
-       cluster_of.(v) <- c;
-       if matchable v then begin
-         let w = best_neighbour v in
-         if w >= 0 then begin
-           cluster_of.(w) <- c;
-           n_match := !n_match + 2
-         end
-       end
-     end;
-     incr j
-   done);
-  (* Remaining unmatched modules become singletons. *)
+  (* Active set: matchable modules that still had a feasible partner last
+     round.  A module whose rating comes back empty is dropped for good —
+     the unmatched set only shrinks, so no partner can appear later. *)
+  let active = ref (Array.of_seq (Seq.filter matchable (Seq.init n Fun.id))) in
+  let prop = Array.make n (-1) in
+  let rate = Array.make n 0.0 in
+  let round = ref 0 in
+  let continue = ref (float_of_int !n_match < target && Array.length !active > 0) in
+  while !continue do
+    incr round;
+    let t0 = Trace.start () in
+    let act = !active in
+    let n_act = Array.length act in
+    (* Rating pass: embarrassingly parallel over disjoint ranges of the
+       active array against the frozen round-start [mate]. *)
+    let rate_range ~slot ~lo ~hi =
+      let s = scratch.(slot) in
+      for i = lo to hi - 1 do
+        let v = act.(i) in
+        let w, c = best_neighbour s v in
+        prop.(v) <- w;
+        rate.(v) <- c
+      done
+    in
+    (match pool with
+    | Some p when n_act > 1 -> Pool.parallel_chunks p ~n:n_act ~body:rate_range
+    | _ -> rate_range ~slot:0 ~lo:0 ~hi:n_act);
+    (* Deterministic commit: proposers sorted by (rating desc, rank asc) —
+       a total order independent of visit order and pool size — then the
+       feasible prefix is committed sequentially.  The first candidate
+       always commits (both endpoints are free at round start), so every
+       round with a proposal makes progress. *)
+    let cands = Array.of_seq (Seq.filter (fun v -> prop.(v) >= 0) (Array.to_seq act)) in
+    Array.sort
+      (fun a b ->
+        if rate.(a) <> rate.(b) then compare rate.(b) rate.(a)
+        else compare rank.(a) rank.(b))
+      cands;
+    let commits = ref 0 in
+    Array.iter
+      (fun v ->
+        if float_of_int !n_match < target && mate.(v) < 0 then begin
+          let w = prop.(v) in
+          if mate.(w) < 0 then begin
+            mate.(v) <- w;
+            mate.(w) <- v;
+            n_match := !n_match + 2;
+            incr commits
+          end
+        end)
+      cands;
+    Metrics.add m_rounds 1;
+    Metrics.observe h_round_commits !commits;
+    if Trace.enabled () then
+      Trace.complete ~cat:"coarsen"
+        ~args:
+          [
+            ("round", Trace.Int !round);
+            ("active", Trace.Int n_act);
+            ("committed", Trace.Int !commits);
+          ]
+        "coarsen/round" t0;
+    active :=
+      Array.of_seq
+        (Seq.filter (fun v -> mate.(v) < 0 && prop.(v) >= 0) (Array.to_seq act));
+    continue :=
+      !commits > 0
+      && float_of_int !n_match < target
+      && Array.length !active > 0
+  done;
+  (* Cluster ids in permutation order, matched pairs sharing an id. *)
+  let cluster_of = Array.make n (-1) in
+  let k = ref 0 in
   for j = 0 to n - 1 do
     let v = perm.(j) in
     if cluster_of.(v) < 0 then begin
-      cluster_of.(v) <- !k;
-      incr k
+      let c = !k in
+      incr k;
+      cluster_of.(v) <- c;
+      let w = mate.(v) in
+      if w >= 0 then cluster_of.(w) <- c
     end
   done;
   Metrics.add m_pairs (!n_match / 2);

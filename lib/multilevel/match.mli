@@ -1,29 +1,41 @@
-(** The Match coarsening procedure (Figure 3 of the paper).
+(** The Match coarsening procedure (Figure 3 of the paper), run as
+    synchronous proposal/commit rounds so it parallelizes with output
+    bit-identical for any pool size.
 
-    Modules are visited in random order; each unmatched module is paired
-    with the unmatched neighbour maximising the connectivity
+    Each round, every active module [v] rates its feasible unmatched
+    neighbours by the connectivity
 
-    {v conn(v, w) = (1 / (A(v) A(w))) * Σ over shared nets of 1 / (|e| - 1) v}
+    {v conn(v, w) = (1 / (A(v) A(w))) * Σ over shared nets of w(e) / (|e| - 1) v}
 
-    (nets larger than [max_net_size] pins — 10 in the paper — are ignored).
-    Matching stops once the fraction of matched modules reaches the matching
-    ratio [R]; everything still unmatched becomes a singleton cluster.  [R]
-    is the knob that slows coarsening and deepens the hierarchy — the
-    paper's key departure from Chaco/Metis maximal matching. *)
+    (nets larger than [max_net_size] pins — 10 in the paper — are ignored)
+    and proposes to the best one, ties broken towards the lowest rank in
+    the seed permutation.  Rating reads only round-start state, so ranges
+    of the active set are rated in parallel.  Proposals are then committed
+    sequentially in (rating desc, rank asc) order — a total order
+    independent of both visit order and chunk scheduling — skipping any
+    proposal whose endpoint was already taken earlier in the same pass.
+    Rounds repeat until the fraction of matched modules reaches the
+    matching ratio [R] or no module has a feasible partner; everything
+    still unmatched becomes a singleton cluster.  [R] is the knob that
+    slows coarsening and deepens the hierarchy — the paper's key departure
+    from Chaco/Metis maximal matching. *)
 
 val run :
   ?max_net_size:int ->
   ?matchable:(int -> bool) ->
   ?pair_ok:(int -> int -> bool) ->
   ?max_cluster_area:int ->
+  ?pool:Mlpart_util.Pool.t ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
   ratio:float ->
   int array * int
 (** [run rng h ~ratio] returns [(cluster_of, k)]: a map from module id to
-    cluster id in [0 .. k-1].  [matchable v = false] excludes [v] from
-    pairing (it always ends up a singleton) — used to keep pre-assigned
-    pads unclustered in the quadrisection flow.  [pair_ok v w = false]
-    forbids the specific pair — V-cycles use it to coarsen only within the
-    sides of the current solution so the solution projects exactly.
-    [ratio] must be in [(0, 1]]. *)
+    cluster id in [0 .. k-1], numbered in seed-permutation order.
+    [matchable v = false] excludes [v] from pairing (it always ends up a
+    singleton) — used to keep pre-assigned pads unclustered in the
+    quadrisection flow.  [pair_ok v w = false] forbids the specific pair —
+    V-cycles use it to coarsen only within the sides of the current
+    solution so the solution projects exactly.  [pool] parallelizes the
+    rating pass; the result is bit-identical with and without it.  [ratio]
+    must be in [(0, 1]]. *)

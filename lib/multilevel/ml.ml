@@ -5,6 +5,8 @@ module Deadline = Mlpart_util.Deadline
 module Trace = Mlpart_obs.Trace
 module Metrics = Mlpart_obs.Metrics
 module Fm = Mlpart_partition.Fm
+module Rounds = Mlpart_partition.Rounds
+module Bp = Mlpart_partition.Bipartition
 
 let log_src = Logs.Src.create "mlpart.ml" ~doc:"multilevel driver traces"
 
@@ -22,6 +24,8 @@ type config = {
   engine : Fm.config;
   max_levels : int;
   coarsest_starts : int;
+  rounds : int;
+  rounds_min_modules : int;
 }
 
 let mlf =
@@ -33,6 +37,8 @@ let mlf =
     engine = Fm.default;
     max_levels = 64;
     coarsest_starts = 1;
+    rounds = 2;
+    rounds_min_modules = 128;
   }
 
 let mlc = { mlf with engine = Fm.clip }
@@ -40,11 +46,11 @@ let with_ratio config ratio = { config with ratio }
 
 type result = { side : int array; cut : int; levels : int; coarsest_modules : int }
 
-let build_hierarchy config ?fixed ?pair_ok rng h =
+let build_hierarchy config ?fixed ?pair_ok ?pool rng h =
   Hierarchy.build ~threshold:config.threshold ~ratio:config.ratio
     ~match_net_size:config.match_net_size
     ~merge_duplicates:config.merge_duplicates ~max_levels:config.max_levels
-    ?fixed ?pair_ok rng h
+    ?fixed ?pair_ok ?pool rng h
 
 let coarsen ?(config = mlf) rng h =
   let hierarchy = build_hierarchy config rng h in
@@ -97,11 +103,26 @@ let partition_coarsest config ?init ?fixed ?pool ?arena rng coarsest =
    level's size, instead of rebuilt per level.  Each level gets a
    [ml/refine_level] span — the single timing source the bench harness's
    per-phase breakdown is derived from. *)
-let refine_up config ?arena rng hierarchy initial_side =
+let refine_up config ?pool ?arena rng hierarchy initial_side =
   List.fold_left
     (fun coarse_side { Hierarchy.netlist; cluster_of; fixed } ->
       let t0 = Trace.start () in
       let projected = project cluster_of coarse_side in
+      (* Round-based pre-pass at the larger levels: parallel positive-gain
+         sweeps shrink the cut before the exact sequential FM polish.  It
+         runs whether or not a pool is present — the committed move
+         sequence is a pure function of the input — so the result is
+         bit-identical for every [--jobs]. *)
+      if config.rounds > 0 && H.num_modules netlist >= config.rounds_min_modules
+      then begin
+        let bounds =
+          (if config.engine.Fm.wide_balance then Bp.wide_bounds else Bp.bounds)
+            ~tolerance:config.engine.Fm.tolerance netlist
+        in
+        ignore
+          (Rounds.run ?pool ?fixed ~net_threshold:config.engine.Fm.net_threshold
+             ~max_rounds:config.rounds ~bounds netlist projected)
+      end;
       let refined =
         Fm.run ~config:config.engine ~init:projected ?fixed ?arena rng netlist
       in
@@ -128,7 +149,7 @@ let run ?(config = mlf) ?fixed ?pool ?arena rng h =
   let arena = match arena with Some a -> a | None -> Fm.create_arena ~h () in
   let hierarchy =
     Trace.span ~cat:"ml" "ml/coarsen" (fun () ->
-        build_hierarchy config ?fixed rng h)
+        build_hierarchy config ?fixed ?pool rng h)
   in
   Log.debug (fun m ->
       m "%s: %d levels, coarsest |V|=%d (T=%d, R=%.2f)" (H.name h)
@@ -142,7 +163,7 @@ let run ?(config = mlf) ?fixed ?pool ?arena rng h =
   in
   let side =
     Trace.span ~cat:"ml" "ml/refine" (fun () ->
-        refine_up config ~arena rng hierarchy initial.Fm.side)
+        refine_up config ?pool ~arena rng hierarchy initial.Fm.side)
   in
   Metrics.incr m_runs;
   {
@@ -156,11 +177,11 @@ let run ?(config = mlf) ?fixed ?pool ?arena rng h =
    same-side pairs (every cluster is side-pure, so the solution projects
    without loss), refine the projected solution at each level on the way
    back up. *)
-let vcycle config ?fixed ?arena rng h side =
+let vcycle config ?fixed ?pool ?arena rng h side =
   let pair_ok v w = side.(v) = side.(w) in
   let hierarchy =
     Trace.span ~cat:"ml" "ml/coarsen" (fun () ->
-        build_hierarchy config ?fixed ~pair_ok rng h)
+        build_hierarchy config ?fixed ~pair_ok ?pool rng h)
   in
   (* Restrict the side assignment down the hierarchy. *)
   let coarsest_side, _ =
@@ -184,7 +205,7 @@ let vcycle config ?fixed ?arena rng h side =
           ?fixed:hierarchy.Hierarchy.coarsest_fixed ?arena rng
           hierarchy.Hierarchy.coarsest)
   in
-  refine_up config ?arena rng hierarchy initial.Fm.side
+  refine_up config ?pool ?arena rng hierarchy initial.Fm.side
 
 let run_vcycles ?(config = mlf) ?fixed ?pool ?arena ~cycles rng h =
   if cycles < 1 then invalid_arg "Ml.run_vcycles: cycles < 1";
@@ -194,7 +215,7 @@ let run_vcycles ?(config = mlf) ?fixed ?pool ?arena ~cycles rng h =
   let cut = ref first.cut in
   for cycle = 2 to cycles do
     let t0 = Trace.start () in
-    let refined = vcycle config ?fixed ~arena rng h !side in
+    let refined = vcycle config ?fixed ?pool ~arena rng h !side in
     let refined_cut = Fm.cut_of h refined in
     if Trace.enabled () then
       Trace.complete ~cat:"ml"

@@ -19,6 +19,13 @@ type config = {
       (** independent partitioning attempts of the coarsest netlist, keeping
           the best — the paper's "spend more CPU at the top levels" future
           work; 1 reproduces the published algorithm *)
+  rounds : int;
+      (** max {!Mlpart_partition.Rounds} pre-pass rounds per refinement
+          level (0 disables); the pre-pass runs with or without a pool, so
+          results stay jobs-invariant *)
+  rounds_min_modules : int;
+      (** pre-pass only at levels with at least this many modules — small
+          levels are cheaper to hand straight to the sequential engine *)
 }
 
 val mlf : config
@@ -50,9 +57,13 @@ val run :
     the 2-way analogue of the quadrisection pad mechanism, used by
     recursive bisection with terminal propagation.
 
-    [pool] parallelises the [coarsest_starts] multi-start over its domains;
-    each start draws from its own generator pre-split from [rng], so the
-    cut is identical for any pool size (and for no pool at all).
+    [pool] parallelises the run internally: per-level match rating and
+    CSR induce during coarsening, the {!Mlpart_partition.Rounds} pre-pass
+    scoring during refinement, and the [coarsest_starts] multi-start.
+    Every parallel stage commits its results in a deterministic order
+    (and multi-starts draw from pre-split generators), so the cut and
+    side assignment are bit-identical for any pool size — including no
+    pool at all.
 
     When {!Mlpart_obs.Trace} is enabled the run emits [ml/coarsen],
     [ml/initial], [ml/refine] and per-level [ml/refine_level] spans — the
@@ -121,12 +132,16 @@ val project : int array -> int array -> int array
 
 val refine_up :
   config ->
+  ?pool:Mlpart_util.Pool.t ->
   ?arena:Mlpart_partition.Fm.arena ->
   Mlpart_util.Rng.t ->
   Hierarchy.t ->
   int array ->
   int array
 (** The uncoarsening half of {!run} (steps 7-9 of Figure 2): project the
-    coarsest-level assignment level by level and refine each projection
-    with the configured engine, returning the finest-level assignment.
-    Exposed for refinement-only benchmarking and custom flows. *)
+    coarsest-level assignment level by level, run the round-based
+    pre-pass at levels of at least [rounds_min_modules] modules (see
+    {!Mlpart_partition.Rounds}), and refine each projection with the
+    configured engine, returning the finest-level assignment.  [pool]
+    parallelizes the pre-pass scoring; output is bit-identical without
+    it.  Exposed for refinement-only benchmarking and custom flows. *)

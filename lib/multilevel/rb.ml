@@ -42,7 +42,7 @@ let sub_netlist ~keep_cut_nets h members =
     members;
   Builder.build builder
 
-let run ?(config = default) rng h ~k =
+let run ?(config = default) ?pool rng h ~k =
   if not (is_power_of_two k) then
     invalid_arg "Rb.run: k must be a power of two";
   let n = H.num_modules h in
@@ -63,7 +63,7 @@ let run ?(config = default) rng h ~k =
         if H.num_nets sub = 0 then
           (* no internal connectivity: alternate for balance *)
           Array.init (Array.length members) (fun i -> i land 1)
-        else (Ml.run ~config:config.ml ~arena rng sub).Ml.side
+        else (Ml.run ~config:config.ml ?pool ~arena rng sub).Ml.side
       in
       if Trace.enabled () then
         Trace.complete ~cat:"rb"

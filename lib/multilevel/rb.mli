@@ -26,9 +26,12 @@ type result = {
 
 val run :
   ?config:config ->
+  ?pool:Mlpart_util.Pool.t ->
   Mlpart_util.Rng.t ->
   Mlpart_hypergraph.Hypergraph.t ->
   k:int ->
   result
 (** [k] must be a power of two (2, 4, 8, ...); raises [Invalid_argument]
-    otherwise. *)
+    otherwise.  [pool] is threaded into every {!Ml.run} bisection for
+    intra-run parallelism; the recursion itself stays sequential, and the
+    result is bit-identical for any pool size. *)

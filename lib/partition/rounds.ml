@@ -1,0 +1,139 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Pool = Mlpart_util.Pool
+module Trace = Mlpart_obs.Trace
+module Metrics = Mlpart_obs.Metrics
+
+let m_rounds = Metrics.counter "rounds.rounds"
+let m_moves = Metrics.counter "rounds.moves"
+
+let h_round_moves =
+  Metrics.histogram "rounds.moves_per_round"
+    ~buckets:[| 1; 4; 16; 64; 256; 1024; 4096 |]
+
+type result = { moved : int; rounds : int; gain : int }
+
+let run ?pool ?fixed ?(net_threshold = max_int) ?(max_rounds = max_int)
+    ~bounds h side =
+  let n = H.num_modules h in
+  let m = H.num_nets h in
+  if Array.length side <> n then invalid_arg "Rounds.run: side length mismatch";
+  let is_fixed =
+    match fixed with
+    | None -> fun _ -> false
+    | Some f -> fun v -> f.(v) >= 0
+  in
+  (* Frozen-snapshot state, rebuilt incrementally as rounds commit. *)
+  let pins_on = Array.make (2 * m) 0 in
+  let recount_range ~slot:_ ~lo ~hi =
+    for e = lo to hi - 1 do
+      let c1 = ref 0 in
+      H.iter_pins_of h e (fun v -> if side.(v) = 1 then incr c1);
+      let sz = H.net_size h e in
+      pins_on.(2 * e) <- sz - !c1;
+      pins_on.((2 * e) + 1) <- !c1
+    done
+  in
+  (match pool with
+  | Some p when Pool.size p > 1 -> Pool.parallel_chunks p ~n:m ~body:recount_range
+  | _ -> recount_range ~slot:0 ~lo:0 ~hi:m);
+  let a0 = ref 0 in
+  for v = 0 to n - 1 do
+    if side.(v) = 0 then a0 := !a0 + H.area h v
+  done;
+  (* A move is admissible if the new side-0 area is in bounds, or strictly
+     closer to the bounds interval than before (lets rounds help repair a
+     projected solution whose slack shrank at this level). *)
+  let violation a =
+    if a < bounds.Bipartition.lo then bounds.Bipartition.lo - a
+    else if a > bounds.Bipartition.hi then a - bounds.Bipartition.hi
+    else 0
+  in
+  let gain = Array.make n 0 in
+  (* FM gain of [v] from the frozen snapshot, module-centric so ranges of
+     modules are scored in parallel without write contention. *)
+  let gain_range ~slot:_ ~lo ~hi =
+    for v = lo to hi - 1 do
+      if is_fixed v then gain.(v) <- min_int
+      else begin
+        let s = side.(v) in
+        let g = ref 0 in
+        H.iter_nets_of h v (fun e ->
+            if H.net_size h e <= net_threshold then begin
+              let w = H.net_weight h e in
+              let from_count = pins_on.((2 * e) + s) in
+              let to_count = pins_on.((2 * e) + (1 - s)) in
+              if from_count = 1 then g := !g + w;
+              if to_count = 0 then g := !g - w
+            end);
+        gain.(v) <- !g
+      end
+    done
+  in
+  (* Net conflict marking: accepted moves within a round share no net, so
+     every committed gain is exact against the snapshot and the cut drops
+     by exactly the sum of accepted gains. *)
+  let net_epoch = Array.make m 0 in
+  let epoch = ref 0 in
+  let cands = Array.make n 0 in
+  let moved = ref 0 in
+  let total_gain = ref 0 in
+  let rounds = ref 0 in
+  let continue = ref (n > 0 && m > 0 && max_rounds > 0) in
+  while !continue do
+    incr rounds;
+    let t0 = Trace.start () in
+    (match pool with
+    | Some p when Pool.size p > 1 -> Pool.parallel_chunks p ~n ~body:gain_range
+    | _ -> gain_range ~slot:0 ~lo:0 ~hi:n);
+    (* Candidates in ascending module order, then sorted by (gain desc,
+       index asc): a total order independent of chunk scheduling. *)
+    let n_cand = ref 0 in
+    for v = 0 to n - 1 do
+      if gain.(v) > 0 then begin
+        cands.(!n_cand) <- v;
+        incr n_cand
+      end
+    done;
+    let cand = Array.sub cands 0 !n_cand in
+    Array.sort
+      (fun a b -> if gain.(a) <> gain.(b) then compare gain.(b) gain.(a) else compare a b)
+      cand;
+    incr epoch;
+    let ep = !epoch in
+    let committed = ref 0 in
+    Array.iter
+      (fun v ->
+        let clash = ref false in
+        H.iter_nets_of h v (fun e -> if net_epoch.(e) = ep then clash := true);
+        if not !clash then begin
+          let av = H.area h v in
+          let a0' = if side.(v) = 0 then !a0 - av else !a0 + av in
+          if violation a0' = 0 || violation a0' < violation !a0 then begin
+            let s = side.(v) in
+            side.(v) <- 1 - s;
+            a0 := a0';
+            H.iter_nets_of h v (fun e ->
+                net_epoch.(e) <- ep;
+                pins_on.((2 * e) + s) <- pins_on.((2 * e) + s) - 1;
+                pins_on.((2 * e) + (1 - s)) <- pins_on.((2 * e) + (1 - s)) + 1);
+            total_gain := !total_gain + gain.(v);
+            incr committed
+          end
+        end)
+      cand;
+    moved := !moved + !committed;
+    Metrics.add m_rounds 1;
+    Metrics.observe h_round_moves !committed;
+    if Trace.enabled () then
+      Trace.complete ~cat:"refine"
+        ~args:
+          [
+            ("round", Trace.Int !rounds);
+            ("candidates", Trace.Int !n_cand);
+            ("committed", Trace.Int !committed);
+          ]
+        "refine/round" t0;
+    continue := !committed > 0 && !rounds < max_rounds
+  done;
+  Metrics.add m_moves !moved;
+  { moved = !moved; rounds = !rounds; gain = !total_gain }

@@ -9,7 +9,7 @@ type t = {
   work_ready : Condition.t;
   work_done : Condition.t;
   mutable epoch : int; (* bumped per job; workers wait for a new epoch *)
-  mutable job : (int -> unit) option;
+  mutable job : (int -> unit) option; (* argument is the participant slot *)
   mutable pending : int; (* workers still running the current job *)
   mutable stopping : bool;
   mutable error : exn option;
@@ -23,7 +23,7 @@ let record_error t exn =
   if t.error = None then t.error <- Some exn;
   Mutex.unlock t.mutex
 
-let rec worker_loop t last_epoch =
+let rec worker_loop t ~slot last_epoch =
   Mutex.lock t.mutex;
   while (not t.stopping) && t.epoch = last_epoch do
     Condition.wait t.work_ready t.mutex
@@ -33,12 +33,12 @@ let rec worker_loop t last_epoch =
     let epoch = t.epoch in
     let job = Option.get t.job in
     Mutex.unlock t.mutex;
-    (try job epoch with exn -> record_error t exn);
+    (try job slot with exn -> record_error t exn);
     Mutex.lock t.mutex;
     t.pending <- t.pending - 1;
     if t.pending = 0 then Condition.broadcast t.work_done;
     Mutex.unlock t.mutex;
-    worker_loop t epoch
+    worker_loop t ~slot epoch
   end
 
 let create ~jobs =
@@ -57,7 +57,9 @@ let create ~jobs =
       domains = [];
     }
   in
-  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t.domains <-
+    List.init (size - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t ~slot:(i + 1) 0));
   t
 
 let shutdown t =
@@ -75,7 +77,7 @@ let shutdown t =
 (* Run [job] on every participant; the caller is one of them.  Blocks until
    all workers have finished, then re-raises the first recorded exception. *)
 let run_job t job =
-  if t.size = 1 then job t.epoch
+  if t.size = 1 then job 0
   else begin
     let t0 = Probe.begin_span () in
     if Probe.recording () then Probe.add "pool.jobs" 1;
@@ -90,7 +92,7 @@ let run_job t job =
     t.error <- None;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
-    (try job t.epoch with exn -> record_error t exn);
+    (try job 0 with exn -> record_error t exn);
     Mutex.lock t.mutex;
     while t.pending > 0 do
       Condition.wait t.work_done t.mutex
@@ -105,6 +107,22 @@ let run_job t job =
     match err with Some exn -> raise exn | None -> ()
   end
 
+(* Deterministic chunking: chunk boundaries are a pure function of the work
+   size [n] — never of the pool size — so any algorithm that aggregates
+   per-chunk results in chunk order produces output independent of [--jobs].
+   The floor of 64 amortises the atomic fetch per chunk; the 64-way split
+   keeps enough chunks in flight to balance uneven work at any realistic
+   pool size. *)
+let chunk_size ~n = if n <= 0 then 1 else Stdlib.max 64 ((n + 63) / 64)
+
+let chunk_bounds ~n =
+  if n <= 0 then [||]
+  else begin
+    let cs = chunk_size ~n in
+    let nchunks = (n + cs - 1) / cs in
+    Array.init nchunks (fun c -> (c * cs, Stdlib.min n ((c + 1) * cs)))
+  end
+
 let parallel_for ?chunk t ~start ~stop ~body =
   let len = stop - start in
   if len <= 0 then ()
@@ -116,7 +134,7 @@ let parallel_for ?chunk t ~start ~stop ~body =
     let chunk =
       match chunk with
       | Some c -> Stdlib.max 1 c
-      | None -> Stdlib.max 1 (len / (4 * t.size))
+      | None -> chunk_size ~n:len
     in
     (* Queue occupancy and chunking choices are recorded per call; chunk
        execution gets a span and a duration sample.  All of it is probed
@@ -154,6 +172,86 @@ let parallel_for ?chunk t ~start ~stop ~body =
               raise exn
           end
         done)
+  end
+
+let parallel_chunks t ~n ~body =
+  if n > 0 then begin
+    let cs = chunk_size ~n in
+    let nchunks = (n + cs - 1) / cs in
+    if t.size = 1 || nchunks = 1 then
+      for c = 0 to nchunks - 1 do
+        body ~slot:0 ~lo:(c * cs) ~hi:(Stdlib.min n ((c + 1) * cs))
+      done
+    else begin
+      if Probe.recording () then begin
+        Probe.add "pool.parallel_chunks" 1;
+        Probe.sample "pool.queue_depth" nchunks;
+        Probe.sample "pool.chunk_size" cs
+      end;
+      let next = Atomic.make 0 in
+      let cancelled = Atomic.make false in
+      run_job t (fun slot ->
+          let continue = ref true in
+          while !continue && not (Atomic.get cancelled) do
+            let c = Atomic.fetch_and_add next 1 in
+            if c >= nchunks then continue := false
+            else begin
+              let lo = c * cs and hi = Stdlib.min n ((c + 1) * cs) in
+              let t0 = Probe.begin_span () in
+              if Probe.recording () then Probe.add "pool.chunks" 1;
+              try
+                body ~slot ~lo ~hi;
+                if t0 <> 0 then
+                  Probe.end_span ~cat:"pool" ~name:"pool/chunk" ~t0
+                    ~args:[ ("lo", lo); ("hi", hi) ]
+              with exn ->
+                Atomic.set cancelled true;
+                raise exn
+            end
+          done)
+    end
+  end
+
+(* Exclusive prefix sum: [dst.(0) = 0], [dst.(i+1) = dst.(i) + src.(i)];
+   returns the total.  [dst] must have room for [n + 1] entries.  Chunk
+   partials are combined in chunk index order, so the result is the exact
+   sequential scan whatever the pool size. *)
+let parallel_scan t ~n ~src ~dst =
+  if n <= 0 then begin
+    if Array.length dst > 0 then dst.(0) <- 0;
+    0
+  end
+  else begin
+    let cs = chunk_size ~n in
+    let nchunks = (n + cs - 1) / cs in
+    if t.size = 1 || nchunks = 1 then begin
+      dst.(0) <- 0;
+      for i = 0 to n - 1 do
+        dst.(i + 1) <- dst.(i) + src.(i)
+      done;
+      dst.(n)
+    end
+    else begin
+      let partial = Array.make nchunks 0 in
+      parallel_chunks t ~n ~body:(fun ~slot:_ ~lo ~hi ->
+          let s = ref 0 in
+          for i = lo to hi - 1 do
+            s := !s + src.(i)
+          done;
+          partial.((lo / cs)) <- !s);
+      let base = Array.make nchunks 0 in
+      for c = 1 to nchunks - 1 do
+        base.(c) <- base.(c - 1) + partial.(c - 1)
+      done;
+      parallel_chunks t ~n ~body:(fun ~slot:_ ~lo ~hi ->
+          let acc = ref base.(lo / cs) in
+          if lo = 0 then dst.(0) <- 0;
+          for i = lo to hi - 1 do
+            acc := !acc + src.(i);
+            dst.(i + 1) <- !acc
+          done);
+      dst.(n)
+    end
   end
 
 let map t f a =

@@ -213,7 +213,7 @@ let test_hgen_shrinks_valid () =
 
 let test_selfcheck_smoke () =
   let report = Selfcheck.run { Selfcheck.seed = 7; cases = 5; max_size = 8 } in
-  Alcotest.(check int) "all properties present" 16
+  Alcotest.(check int) "all properties present" 17
     (List.length report.Selfcheck.props);
   Alcotest.(check int) "no failures"
     0

@@ -322,6 +322,42 @@ let test_ml_run_starts_pool_identical () =
   check Alcotest.(array int) "same side" seq.Ml.side par.Ml.side;
   check Alcotest.int "cut recount" (Fm.cut_of h par.Ml.side) par.Ml.cut
 
+(* Jobs values for the intra-run determinism tests.  The CI matrix sets
+   MLPART_TEST_JOBS so both the sequential schedule and a multi-domain
+   schedule are exercised; the default covers 2 and 4 domains. *)
+let intra_jobs_list () =
+  match Sys.getenv_opt "MLPART_TEST_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j > 1 -> [ j ]
+      | Some _ -> [ 2 ]
+      | None -> [ 2; 4 ])
+  | None -> [ 2; 4 ]
+
+let test_ml_intra_run_pool_identical () =
+  (* Intra-run parallelism (round-based matching, parallel induce, round
+     pre-pass refinement) is bit-identical for any pool size: the round
+     algorithms also run sequentially, so the schedule cannot leak into the
+     output.  300 modules crosses rounds_min_modules = 128, so every
+     parallel stage actually executes. *)
+  let h = random_instance ~modules:300 44 in
+  let seq = Ml.run ~config:Ml.mlc (Rng.create 45) h in
+  List.iter
+    (fun jobs ->
+      let par =
+        Pool.with_pool ~jobs (fun pool ->
+            Ml.run ~config:Ml.mlc ~pool (Rng.create 45) h)
+      in
+      check Alcotest.int
+        (Printf.sprintf "same cut at jobs=%d" jobs)
+        seq.Ml.cut par.Ml.cut;
+      check
+        Alcotest.(array int)
+        (Printf.sprintf "same side at jobs=%d" jobs)
+        seq.Ml.side par.Ml.side;
+      check Alcotest.int "cut recount" (Fm.cut_of h par.Ml.side) par.Ml.cut)
+    (intra_jobs_list ())
+
 let test_ml_run_starts_deadline () =
   let module Deadline = Mlpart_util.Deadline in
   let h = random_instance ~modules:200 31 in
@@ -442,6 +478,26 @@ let test_rb_k2_matches_ml () =
   let ml = Ml.run ~config:Ml.mlc (Rng.create 46) h in
   check Alcotest.int "k=2 RB is one ML call" ml.Ml.cut rb.Rb.cut
 
+let test_rb_intra_run_pool_identical () =
+  (* the recursive driver threads the pool into every sub-bisection; the
+     whole k-way labelling must be schedule-independent *)
+  let h = random_instance ~modules:400 48 in
+  let seq = Rb.run (Rng.create 49) h ~k:4 in
+  List.iter
+    (fun jobs ->
+      let par =
+        Pool.with_pool ~jobs (fun pool ->
+            Rb.run ~pool (Rng.create 49) h ~k:4)
+      in
+      check Alcotest.int
+        (Printf.sprintf "same cut at jobs=%d" jobs)
+        seq.Rb.cut par.Rb.cut;
+      check
+        Alcotest.(array int)
+        (Printf.sprintf "same side at jobs=%d" jobs)
+        seq.Rb.side par.Rb.side)
+    (intra_jobs_list ())
+
 let test_rb_objective_tradeoff () =
   (* keeping cut nets optimises soed, dropping them optimises cut — weak
      inequality over a few seeds to stay robust *)
@@ -515,6 +571,8 @@ let () =
             test_ml_run_starts_pool_identical;
           Alcotest.test_case "run_starts deadline" `Quick
             test_ml_run_starts_deadline;
+          Alcotest.test_case "intra-run pool identical" `Quick
+            test_ml_intra_run_pool_identical;
         ] );
       ( "rb",
         [
@@ -523,6 +581,8 @@ let () =
           Alcotest.test_case "rejects non-power" `Quick test_rb_rejects_non_power;
           Alcotest.test_case "k=2 is ML" `Quick test_rb_k2_matches_ml;
           Alcotest.test_case "objective tradeoff" `Slow test_rb_objective_tradeoff;
+          Alcotest.test_case "intra-run pool identical" `Quick
+            test_rb_intra_run_pool_identical;
         ] );
       ( "ml_multiway",
         [

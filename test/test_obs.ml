@@ -411,6 +411,58 @@ let metrics_signature () =
       Json.to_string (Json.Obj (List.map (fun (k, v) -> (k, strip v)) sections))
   | v -> Json.to_string v
 
+(* The round-based stages emit one span per synchronous round.  Assert
+   coverage and schema stability: both span kinds present on a pooled run
+   (instance crosses rounds_min_modules so the refinement pre-pass fires),
+   fixed arg-key sets, and a ring large enough that nothing was dropped. *)
+let test_round_span_coverage () =
+  let arg_keys e = List.map fst e.Trace.args in
+  let spans_of name events =
+    List.filter (fun e -> e.Trace.name = name) events
+  in
+  let run_traced pool =
+    Trace.enable ();
+    ignore (Ml.run ~config:Ml.mlc ?pool (Rng.create 53) (instance 52));
+    let events = Trace.events () in
+    let dropped = Trace.dropped () in
+    Trace.disable ();
+    (events, dropped)
+  in
+  let events, dropped =
+    Pool.with_pool ~jobs:4 (fun pool -> run_traced (Some pool))
+  in
+  check Alcotest.int "no dropped events" 0 dropped;
+  let coarsen = spans_of "coarsen/round" events in
+  let refine = spans_of "refine/round" events in
+  check Alcotest.bool "coarsen/round present" true (coarsen <> []);
+  check Alcotest.bool "refine/round present" true (refine <> []);
+  List.iter
+    (fun e ->
+      check Alcotest.string "coarsen cat" "coarsen" e.Trace.cat;
+      check
+        Alcotest.(list string)
+        "coarsen/round arg schema"
+        [ "round"; "active"; "committed" ]
+        (arg_keys e))
+    coarsen;
+  List.iter
+    (fun e ->
+      check Alcotest.string "refine cat" "refine" e.Trace.cat;
+      check
+        Alcotest.(list string)
+        "refine/round arg schema"
+        [ "round"; "candidates"; "committed" ]
+        (arg_keys e))
+    refine;
+  (* the same rounds run sequentially — the spans are a property of the
+     algorithm, not of the schedule *)
+  let seq_events, seq_dropped = run_traced None in
+  check Alcotest.int "no dropped events (sequential)" 0 seq_dropped;
+  check Alcotest.int "same coarsen/round count" (List.length coarsen)
+    (List.length (spans_of "coarsen/round" seq_events));
+  check Alcotest.int "same refine/round count" (List.length refine)
+    (List.length (spans_of "refine/round" seq_events))
+
 let test_determinism_across_jobs () =
   let observe pool =
     Trace.enable ();
@@ -470,6 +522,8 @@ let () =
         [
           Alcotest.test_case "trace schema" `Quick test_trace_export_schema;
           Alcotest.test_case "metrics schema" `Quick test_metrics_export_schema;
+          Alcotest.test_case "round span coverage" `Quick
+            test_round_span_coverage;
           Alcotest.test_case "deterministic across jobs" `Slow
             test_determinism_across_jobs;
         ] );

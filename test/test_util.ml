@@ -332,6 +332,86 @@ let test_deadline_pre_expired () =
   let neg = Deadline.make ~seconds:(-5.0) in
   check Alcotest.bool "negative budget expires" true (Deadline.check neg)
 
+(* Jobs values exercised by the determinism tests; the CI matrix overrides
+   the default through MLPART_TEST_JOBS so the suite runs both sequential
+   and multi-domain schedules. *)
+let test_jobs_list () =
+  match Sys.getenv_opt "MLPART_TEST_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> [ 1; j; 2 * j ]
+      | _ -> [ 1; 2; 4; 8 ])
+  | None -> [ 1; 2; 4; 8 ]
+
+let test_pool_chunk_bounds_jobs_invariant () =
+  (* chunk boundaries are a pure function of n — verify both the direct
+     decomposition and that parallel_chunks visits exactly those bounds for
+     every jobs value *)
+  List.iter
+    (fun n ->
+      let expected = Pool.chunk_bounds ~n in
+      (* contiguous cover of [0, n) *)
+      let covered = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          check Alcotest.int (Printf.sprintf "n=%d contiguous" n) !covered lo;
+          check Alcotest.bool (Printf.sprintf "n=%d nonempty" n) true (hi > lo);
+          covered := hi)
+        expected;
+      check Alcotest.int (Printf.sprintf "n=%d covers" n) n !covered;
+      List.iter
+        (fun jobs ->
+          Pool.with_pool ~jobs (fun pool ->
+              let seen = Array.make (Array.length expected) (-1, -1) in
+              Pool.parallel_chunks pool ~n ~body:(fun ~slot:_ ~lo ~hi ->
+                  let c = lo / Stdlib.max 1 (snd expected.(0) - fst expected.(0)) in
+                  seen.(c) <- (lo, hi));
+              check
+                Alcotest.(array (pair int int))
+                (Printf.sprintf "chunks identical n=%d jobs=%d" n jobs)
+                expected seen))
+        (test_jobs_list ()))
+    [ 1; 63; 64; 65; 1000; 4097; 100_000 ]
+
+let test_pool_parallel_scan_matches_sequential () =
+  let n = 10_000 in
+  let src = Array.init n (fun i -> (i * 31) mod 97) in
+  let expected = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    expected.(i + 1) <- expected.(i) + src.(i)
+  done;
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let dst = Array.make (n + 1) (-1) in
+          let total = Pool.parallel_scan pool ~n ~src ~dst in
+          check Alcotest.int (Printf.sprintf "total jobs=%d" jobs) expected.(n)
+            total;
+          check
+            Alcotest.(array int)
+            (Printf.sprintf "prefix sums jobs=%d" jobs)
+            expected dst))
+    (test_jobs_list ());
+  (* empty scan *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let dst = Array.make 1 5 in
+      check Alcotest.int "empty total" 0
+        (Pool.parallel_scan pool ~n:0 ~src:[||] ~dst);
+      check Alcotest.int "empty dst" 0 dst.(0))
+
+let test_pool_parallel_chunks_slots () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 50_000 in
+      let hit = Array.make n 0 in
+      Pool.parallel_chunks pool ~n ~body:(fun ~slot ~lo ~hi ->
+          check Alcotest.bool "slot in range" true (slot >= 0 && slot < 4);
+          for i = lo to hi - 1 do
+            hit.(i) <- hit.(i) + 1
+          done);
+      Array.iteri
+        (fun i c -> if c <> 1 then Alcotest.failf "index %d visited %d times" i c)
+        hit)
+
 let test_pool_sequential_fallback () =
   Pool.with_pool ~jobs:1 (fun pool ->
       check Alcotest.int "size 1" 1 (Pool.size pool);
@@ -397,6 +477,12 @@ let () =
             test_pool_cancellation_skips_chunks;
           Alcotest.test_case "sequential fallback" `Quick
             test_pool_sequential_fallback;
+          Alcotest.test_case "chunk bounds jobs-invariant" `Quick
+            test_pool_chunk_bounds_jobs_invariant;
+          Alcotest.test_case "parallel_scan matches sequential" `Quick
+            test_pool_parallel_scan_matches_sequential;
+          Alcotest.test_case "parallel_chunks covers once" `Quick
+            test_pool_parallel_chunks_slots;
         ] );
       ( "deadline",
         [
