@@ -8,11 +8,14 @@
      evaluate     score a saved part assignment against a netlist
      info         print hypergraph statistics
      selfcheck    run the property-based verification suite
+     serve        fault-tolerant partitioning daemon (NDJSON over a socket)
+     client       submit one request to a running daemon
 
    Every subcommand runs inside an error boundary: library failures
    surface as one structured diagnostic line per issue on stderr and a
    documented exit code — 2 usage, 3 parse/I-O error, 4 invariant
-   violation, 5 timeout — never an OCaml backtrace. *)
+   violation, 5 timeout, 6 admission rejection — never an OCaml
+   backtrace. *)
 
 module H = Mlpart_hypergraph.Hypergraph
 module Hgr_io = Mlpart_hypergraph.Hgr_io
@@ -25,6 +28,11 @@ module Fm = Mlpart_partition.Fm
 module Ml = Mlpart_multilevel.Ml
 module Trace = Mlpart_obs.Trace
 module Metrics = Mlpart_obs.Metrics
+module Json = Mlpart_obs.Json
+module Protocol = Mlpart_serve.Protocol
+module Engine = Mlpart_serve.Engine
+module Server = Mlpart_serve.Server
+module Faults = Mlpart_serve.Faults
 open Cmdliner
 
 let print_diag d =
@@ -634,6 +642,236 @@ let selfcheck_cmd =
              and exit 4.")
     term
 
+(* ---- serve mode ---- *)
+
+let socket_arg =
+  let doc = "Listen/connect address: a Unix-domain socket path, or \
+             tcp:HOST:PORT." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET" ~doc)
+
+let parse_addr socket =
+  match Server.addr_of_string socket with
+  | Ok addr -> addr
+  | Error msg -> usage_fail "%s" msg
+
+let serve_cmd =
+  let run socket workers jobs queue client_inflight cache coarsen_seed
+      default_timeout_ms max_requests stats fault_seed fault_rate trace
+      metrics =
+    obs_setup trace metrics;
+    boundary @@ fun () ->
+    let addr = parse_addr socket in
+    if workers < 1 then usage_fail "--workers must be >= 1";
+    if queue < 1 then usage_fail "--queue must be >= 1";
+    if fault_rate < 0. || fault_rate > 1. then
+      usage_fail "--fault-rate must be in [0,1]";
+    let faults =
+      if fault_rate > 0. then Faults.uniform ~seed:fault_seed ~rate:fault_rate
+      else Faults.none
+    in
+    let config =
+      { Engine.default with
+        Engine.workers; jobs; queue_capacity = queue; client_inflight;
+        cache_capacity = cache; coarsen_seed; default_timeout_ms; faults }
+    in
+    let engine = Engine.create ~config () in
+    Printf.printf "mlpart serve: listening on %s (workers %d, queue %d)\n%!"
+      (Server.addr_to_string addr) workers queue;
+    (match Server.run ?max_requests ?stats_path:stats engine addr with
+    | () -> ()
+    | exception Unix.Unix_error (e, fn, arg) ->
+        print_diag
+          (Diag.error ~source:socket Diag.Io_error "%s: %s %s"
+             (Unix.error_message e) fn arg);
+        exit 3);
+    Printf.printf "mlpart serve: drained, exiting\n%!"
+  in
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains executing partition jobs.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Work-queue capacity; further requests are rejected with \
+                   a queue-full diagnostic and a retry_after_ms hint.")
+  in
+  let client_inflight_arg =
+    Arg.(value & opt int 16
+         & info [ "client-inflight" ] ~docv:"N"
+             ~doc:"Per-client cap on queued plus running jobs.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 32
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Resident coarsening hierarchies (LRU beyond this).")
+  in
+  let coarsen_seed_arg =
+    Arg.(value & opt int 1
+         & info [ "coarsen-seed" ] ~docv:"N"
+             ~doc:"Seed of the content-keyed coarsening streams; requests \
+                   only seed refinement, which is what makes cached \
+                   hierarchies bit-identical to cold runs.")
+  in
+  let default_timeout_arg =
+    Arg.(value & opt (some int) None
+         & info [ "default-timeout-ms" ] ~docv:"MS"
+             ~doc:"Deadline budget for requests that do not carry one.")
+  in
+  let max_requests_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Drain and exit after serving N request lines (test \
+                   harnesses; the production exit path is SIGTERM).")
+  in
+  let stats_arg =
+    Arg.(value & opt (some string) None
+         & info [ "stats" ] ~docv:"FILE"
+             ~doc:"Write a final stats/metrics snapshot to $(docv) after \
+                   the drain.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 1
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Seed of the deterministic fault-injection schedule.")
+  in
+  let fault_rate_arg =
+    Arg.(value & opt float 0.
+         & info [ "fault-rate" ] ~docv:"P"
+             ~doc:"Total injected-fault probability per request, split \
+                   over parse corruption, worker crashes, slowness and \
+                   disconnects.  0 (default) disables injection.")
+  in
+  let term =
+    Term.(const run $ socket_arg $ workers_arg $ jobs_arg $ queue_arg
+          $ client_inflight_arg $ cache_arg $ coarsen_seed_arg
+          $ default_timeout_arg $ max_requests_arg $ stats_arg
+          $ fault_seed_arg $ fault_rate_arg $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Fault-tolerant partitioning daemon: newline-delimited JSON \
+             requests over a Unix-domain or TCP socket, with admission \
+             control, per-job deadline budgets, crash isolation with \
+             retry, and a content-addressed hierarchy cache.  SIGTERM \
+             drains the queue and exits 0.")
+    term
+
+let client_cmd =
+  let run socket raw ping stats_q hgr bench path id client seed starts
+      tolerance timeout_ms side trace metrics =
+    obs_setup trace metrics;
+    boundary @@ fun () ->
+    let addr = parse_addr socket in
+    let control op id =
+      Json.to_string ~indent:false
+        (Json.Obj [ ("op", Json.Str op); ("id", Json.Str id) ])
+    in
+    let line =
+      match raw with
+      | Some line -> line
+      | None ->
+          if ping then control "ping" id
+          else if stats_q then control "stats" id
+          else begin
+            let src =
+              match (hgr, bench, path) with
+              | Some f, None, None ->
+                  Protocol.Inline (In_channel.with_open_text f In_channel.input_all)
+              | None, Some b, None -> Protocol.Bench b
+              | None, None, Some p -> Protocol.Path p
+              | None, None, None ->
+                  usage_fail
+                    "a request needs one of --hgr, --bench, --path (or \
+                     --raw, --ping, --stats)"
+              | _ -> usage_fail "at most one of --hgr, --bench, --path"
+            in
+            Protocol.request_to_line
+              { Protocol.id; client; src; seed; starts; tolerance;
+                timeout_ms; return_side = side }
+          end
+    in
+    let reply =
+      match
+        Server.with_connection addr (fun ic oc -> Server.roundtrip ic oc line)
+      with
+      | reply -> reply
+      | exception Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    in
+    match reply with
+    | Error msg ->
+        print_diag (Diag.error ~source:socket Diag.Io_error "%s" msg);
+        exit 3
+    | Ok resp ->
+        print_endline (Protocol.response_to_line resp);
+        List.iter print_diag resp.Protocol.diags;
+        exit (Protocol.exit_code_of_response resp)
+  in
+  let raw_arg =
+    Arg.(value & opt (some string) None
+         & info [ "raw" ] ~docv:"LINE"
+             ~doc:"Send this exact request line (hostile-input testing).")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Send a ping control query.")
+  in
+  let stats_q_arg =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Query live daemon stats and metrics.")
+  in
+  let hgr_arg =
+    Arg.(value & opt (some string) None
+         & info [ "hgr" ] ~docv:"FILE"
+             ~doc:"Read $(docv) and carry it inline in the request.")
+  in
+  let bench_arg =
+    Arg.(value & opt (some string) None
+         & info [ "bench" ] ~docv:"NAME"
+             ~doc:"Partition the generated Table I stand-in $(docv).")
+  in
+  let path_arg =
+    Arg.(value & opt (some string) None
+         & info [ "path" ] ~docv:"FILE"
+             ~doc:"Partition a netlist file readable by the daemon.")
+  in
+  let id_arg =
+    Arg.(value & opt string "" & info [ "id" ] ~docv:"ID" ~doc:"Request id.")
+  in
+  let client_arg =
+    Arg.(value & opt string "anon"
+         & info [ "client" ] ~docv:"NAME"
+             ~doc:"Client identity for per-client admission caps.")
+  in
+  let starts_arg =
+    Arg.(value & opt int 1
+         & info [ "starts" ] ~docv:"N"
+             ~doc:"Independent multilevel starts; the best cut is kept.")
+  in
+  let timeout_ms_arg =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-job deadline budget; an expired job still returns \
+                   its best-so-far partition, marked degraded (exit 5).")
+  in
+  let side_arg =
+    Arg.(value & flag
+         & info [ "side" ] ~doc:"Ask for the full side assignment.")
+  in
+  let term =
+    Term.(const run $ socket_arg $ raw_arg $ ping_arg $ stats_q_arg $ hgr_arg
+          $ bench_arg $ path_arg $ id_arg $ client_arg $ seed_arg $ starts_arg
+          $ tolerance_arg $ timeout_ms_arg $ side_arg $ trace_arg
+          $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Submit one request to a running mlpart serve daemon, print \
+             the response line, and exit with the response's documented \
+             code (0 ok, 3 failed, 5 degraded, 6 rejected).")
+    term
+
 let setup_logging () =
   match Sys.getenv_opt "MLPART_VERBOSE" with
   | Some ("1" | "true" | "debug") ->
@@ -650,11 +888,14 @@ let () =
     Cmd.Exit.info 3 ~doc:"on input parse or I/O errors." ::
     Cmd.Exit.info 4 ~doc:"on hypergraph invariant violations." ::
     Cmd.Exit.info 5 ~doc:"when --timeout expired (best-so-far result was \
-                          still written)." :: []
+                          still written)." ::
+    Cmd.Exit.info 6 ~doc:"when the serve daemon rejected the request \
+                          (admission control); honour retry_after_ms and \
+                          resubmit." :: []
   in
   let main = Cmd.group (Cmd.info "mlpart" ~doc ~exits)
       [ bipartition_cmd; quadrisect_cmd; place_cmd; generate_cmd;
-        evaluate_cmd; info_cmd; selfcheck_cmd ]
+        evaluate_cmd; info_cmd; selfcheck_cmd; serve_cmd; client_cmd ]
   in
   (* cmdliner reports its own usage errors as 124; fold them into the
      documented usage code *)

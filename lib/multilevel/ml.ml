@@ -145,8 +145,12 @@ let refine_up config ?pool ?arena rng hierarchy initial_side =
     initial_side
     (List.rev hierarchy.Hierarchy.levels)
 
-let run ?(config = mlf) ?fixed ?pool ?arena rng h =
-  let arena = match arena with Some a -> a | None -> Fm.create_arena ~h () in
+(* The coarsening half of {!run}, exposed so the serve-mode hierarchy
+   cache can build (and reuse) hierarchies independently of the
+   refinement seed.  The [ml/coarsen] span lives here — a run that skips
+   this function (cache hit) genuinely skips the phase, which is what the
+   span-based cache tests assert. *)
+let hierarchy ?(config = mlf) ?fixed ?pool rng h =
   let hierarchy =
     Trace.span ~cat:"ml" "ml/coarsen" (fun () ->
         build_hierarchy config ?fixed ?pool rng h)
@@ -156,6 +160,14 @@ let run ?(config = mlf) ?fixed ?pool ?arena rng h =
         (List.length hierarchy.Hierarchy.levels)
         (H.num_modules hierarchy.Hierarchy.coarsest)
         config.threshold config.ratio);
+  hierarchy
+
+(* Initial partition + uncoarsening over a prebuilt hierarchy — the other
+   half of {!run}, and the entry point a hierarchy cache hit jumps to.
+   Reads only from the hierarchy (fixed assignments travel inside it), so
+   one hierarchy value can serve many (seed, tolerance) queries. *)
+let run_hierarchy ?(config = mlf) ?pool ?arena rng h hierarchy =
+  let arena = match arena with Some a -> a | None -> Fm.create_arena ~h () in
   let initial =
     Trace.span ~cat:"ml" "ml/initial" (fun () ->
         partition_coarsest config ?fixed:hierarchy.Hierarchy.coarsest_fixed
@@ -172,6 +184,11 @@ let run ?(config = mlf) ?fixed ?pool ?arena rng h =
     levels = List.length hierarchy.Hierarchy.levels;
     coarsest_modules = H.num_modules hierarchy.Hierarchy.coarsest;
   }
+
+let run ?(config = mlf) ?fixed ?pool ?arena rng h =
+  let arena = match arena with Some a -> a | None -> Fm.create_arena ~h () in
+  let hier = hierarchy ~config ?fixed ?pool rng h in
+  run_hierarchy ~config ?pool ~arena rng h hier
 
 (* One solution-preserving V-cycle: coarsen with matching restricted to
    same-side pairs (every cluster is side-pure, so the solution projects

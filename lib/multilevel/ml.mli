@@ -113,6 +113,37 @@ val run_starts :
     completes.  Query {!Mlpart_util.Deadline.expired} afterwards to learn
     whether the multi-start was cut short. *)
 
+(** {1 Hierarchy reuse (the serve-mode cache seam)}
+
+    {!run} is exactly {!hierarchy} followed by {!run_hierarchy} on the
+    same generator — callers that hold a prebuilt hierarchy (the serve
+    daemon's content-addressed cache) skip the coarsening phase entirely
+    and still get bit-identical results to a cold run that built the
+    hierarchy with the same coarsening generator. *)
+
+val hierarchy :
+  ?config:config ->
+  ?fixed:int array ->
+  ?pool:Mlpart_util.Pool.t ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  Hierarchy.t
+(** The coarsening phase alone, inside its [ml/coarsen] trace span.
+    Consumes coarsening draws from the generator. *)
+
+val run_hierarchy :
+  ?config:config ->
+  ?pool:Mlpart_util.Pool.t ->
+  ?arena:Mlpart_partition.Fm.arena ->
+  Mlpart_util.Rng.t ->
+  Mlpart_hypergraph.Hypergraph.t ->
+  Hierarchy.t ->
+  result
+(** Initial partition + refinement over a prebuilt hierarchy of the given
+    netlist ([ml/initial] and [ml/refine] spans; no [ml/coarsen]).  Fixed
+    assignments travel inside the hierarchy; the hierarchy value is only
+    read, so it can be shared across calls with different generators. *)
+
 (** Access to the phases, for tests and custom flows. *)
 
 val coarsen :

@@ -251,6 +251,28 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
 
+(* Typed field accessors for protocol-style decoding (the serve layer):
+   [None] on a missing field or a type mismatch, so callers can layer
+   defaults with [Option.value].  Ints widen to floats, never the
+   reverse. *)
+let str_member key v =
+  match member key v with Some (Str s) -> Some s | Some _ | None -> None
+
+let int_member key v =
+  match member key v with Some (Int i) -> Some i | Some _ | None -> None
+
+let float_member key v =
+  match member key v with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | Some _ | None -> None
+
+let bool_member key v =
+  match member key v with Some (Bool b) -> Some b | Some _ | None -> None
+
+let list_member key v =
+  match member key v with Some (List l) -> Some l | Some _ | None -> None
+
 let to_file path v =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (to_string v);

@@ -29,5 +29,16 @@ val of_string : string -> (t, string) result
 val member : string -> t -> t option
 (** Field lookup in an [Obj]; [None] on missing keys or non-objects. *)
 
+(** Typed field accessors: [None] on missing fields {e and} on type
+    mismatches, so decoders can layer defaults with [Option.value].
+    {!float_member} additionally accepts an [Int] (widening); nothing else
+    coerces.  Used by the serve protocol decoder. *)
+
+val str_member : string -> t -> string option
+val int_member : string -> t -> int option
+val float_member : string -> t -> float option
+val bool_member : string -> t -> bool option
+val list_member : string -> t -> t list option
+
 val to_file : string -> t -> unit
 (** Write [to_string] plus a trailing newline. *)

@@ -1,0 +1,119 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Hier = Mlpart_multilevel.Hierarchy
+module Metrics = Mlpart_obs.Metrics
+module Diag = Mlpart_util.Diag
+
+let m_hits = Metrics.counter "serve.cache.hits"
+let m_misses = Metrics.counter "serve.cache.misses"
+let m_evictions = Metrics.counter "serve.cache.evictions"
+let m_corrupt = Metrics.counter "serve.cache.corrupt"
+
+(* FNV-1a 64-bit, folded over ints. *)
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+
+let mix h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+
+let mix_array h a = Array.fold_left mix (mix h (Array.length a)) a
+
+let fingerprint h =
+  let acc = mix (mix fnv_basis (H.num_modules h)) (H.num_nets h) in
+  let acc = mix_array acc (H.areas_store h) in
+  let acc = mix_array acc (H.net_offsets_store h) in
+  let acc = mix_array acc (H.net_pins_store h) in
+  mix_array acc (H.net_weights_store h)
+
+let checksum (hier : Hier.t) =
+  let mix_fixed acc = function
+    | None -> mix acc (-1)
+    | Some fixed -> mix_array acc fixed
+  in
+  let acc =
+    List.fold_left
+      (fun acc { Hier.netlist; cluster_of; fixed } ->
+        mix_fixed (mix_array (mix acc (Int64.to_int (fingerprint netlist))) cluster_of) fixed)
+      (mix fnv_basis (List.length hier.Hier.levels))
+      hier.Hier.levels
+  in
+  mix_fixed
+    (mix acc (Int64.to_int (fingerprint hier.Hier.coarsest)))
+    hier.Hier.coarsest_fixed
+
+type entry = { hier : Hier.t; sum : int64; mutable stamp : int }
+
+type t = {
+  cap : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  m : Mutex.t;
+}
+
+let create ~capacity =
+  {
+    cap = Stdlib.max 1 capacity;
+    tbl = Hashtbl.create 16;
+    tick = 0;
+    m = Mutex.create ();
+  }
+
+let length t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.m;
+  n
+
+let capacity t = t.cap
+
+type lookup = Hit of Hier.t | Miss | Corrupt
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None ->
+          Metrics.incr m_misses;
+          Miss
+      | Some e ->
+          if checksum e.hier = e.sum then begin
+            t.tick <- t.tick + 1;
+            e.stamp <- t.tick;
+            Metrics.incr m_hits;
+            Hit e.hier
+          end
+          else begin
+            (* never serve a corrupted entry: drop it and make the caller
+               rebuild — a miss plus a corruption count *)
+            Hashtbl.remove t.tbl key;
+            Metrics.incr m_corrupt;
+            Metrics.record_diag
+              (Diag.warning ~source:"serve.cache" Diag.Cache_evicted
+                 "checksum mismatch on %s; entry dropped and recomputed" key);
+            Corrupt
+          end)
+
+let add t key hier =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.tbl key) && Hashtbl.length t.tbl >= t.cap then begin
+        (* evict the least recently used entry; capacities are small, so a
+           linear scan beats maintaining an intrusive list *)
+        let victim = ref None in
+        Hashtbl.iter
+          (fun k e ->
+            match !victim with
+            | Some (_, s) when s <= e.stamp -> ()
+            | _ -> victim := Some (k, e.stamp))
+          t.tbl;
+        match !victim with
+        | Some (k, _) ->
+            Hashtbl.remove t.tbl k;
+            Metrics.incr m_evictions;
+            Metrics.record_diag
+              (Diag.warning ~source:"serve.cache" Diag.Cache_evicted
+                 "capacity %d reached; evicted %s" t.cap k)
+        | None -> ()
+      end;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.tbl key { hier; sum = checksum hier; stamp = t.tick })

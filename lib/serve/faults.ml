@@ -1,0 +1,61 @@
+module Rng = Mlpart_util.Rng
+
+type kind = Garble_parse | Crash of bool | Slow of int | Disconnect
+
+type config = {
+  seed : int;
+  parse_p : float;
+  crash_p : float;
+  transient_p : float;
+  slow_p : float;
+  slow_ms : int;
+  disconnect_p : float;
+}
+
+let none =
+  {
+    seed = 0;
+    parse_p = 0.;
+    crash_p = 0.;
+    transient_p = 0.;
+    slow_p = 0.;
+    slow_ms = 0;
+    disconnect_p = 0.;
+  }
+
+let uniform ~seed ~rate =
+  let p = rate /. 4. in
+  {
+    seed;
+    parse_p = p;
+    crash_p = p;
+    transient_p = 0.5;
+    slow_p = p;
+    slow_ms = 2;
+    disconnect_p = p;
+  }
+
+let enabled c =
+  c.parse_p > 0. || c.crash_p > 0. || c.slow_p > 0. || c.disconnect_p > 0.
+
+(* Retries are capped well below this, so (request, attempt) pairs map to
+   distinct stream indices. *)
+let max_attempts = 16
+
+exception Injected of { transient : bool }
+
+let decide c ~request ~attempt =
+  if not (enabled c) then None
+  else begin
+    let rng = Rng.stream (Rng.create c.seed) ((request * max_attempts) + attempt) in
+    let u = Rng.float rng 1.0 in
+    (* one draw walks the cumulative thresholds in a fixed kind order; the
+       transient flag costs a second draw only when a crash fires *)
+    if u < c.parse_p then if attempt = 0 then Some Garble_parse else None
+    else if u < c.parse_p +. c.crash_p then
+      Some (Crash (Rng.float rng 1.0 < c.transient_p))
+    else if u < c.parse_p +. c.crash_p +. c.slow_p then Some (Slow c.slow_ms)
+    else if u < c.parse_p +. c.crash_p +. c.slow_p +. c.disconnect_p then
+      Some Disconnect
+    else None
+  end

@@ -1,0 +1,52 @@
+(** Deterministic fault injection for the serve daemon.
+
+    Every decision is a pure function of [(seed, request index, attempt)],
+    derived through {!Mlpart_util.Rng.stream} exactly like the PR-3 fuzz
+    harness — the same seed replays the same fault schedule whatever the
+    worker scheduling, which is what lets the soak test assert an exact
+    metrics ledger.
+
+    Fault kinds model the four hostile behaviours a daemon must survive:
+    requests that fail to parse, workers that crash (transiently or
+    permanently), jobs that are artificially slow, and clients that
+    disconnect before the reply lands. *)
+
+type kind =
+  | Garble_parse
+      (** corrupt the raw request line before decoding (attempt 0 only) *)
+  | Crash of bool  (** worker raises; [true] = transient, i.e. retryable *)
+  | Slow of int  (** sleep this many ms inside the worker *)
+  | Disconnect  (** compute the answer, then sever the connection *)
+
+type config = {
+  seed : int;
+  parse_p : float;
+  crash_p : float;
+  transient_p : float;  (** fraction of crashes classified transient *)
+  slow_p : float;
+  slow_ms : int;
+  disconnect_p : float;
+}
+
+val none : config
+(** All probabilities zero — injection fully disabled. *)
+
+val uniform : seed:int -> rate:float -> config
+(** Total fault probability [rate] split evenly over the four kinds,
+    transient fraction 1/2, slowness 2 ms — the soak-test profile. *)
+
+val enabled : config -> bool
+
+val max_attempts : int
+(** Stream-index stride between consecutive requests; retries are capped
+    well below it, so [(request, attempt)] pairs never collide. *)
+
+val decide : config -> request:int -> attempt:int -> kind option
+(** The fault (if any) injected into attempt [attempt] of request
+    [request].  Parse faults only fire at attempt 0; a retry re-rolls, so
+    transient crashes can succeed on a later attempt. *)
+
+exception Injected of { transient : bool }
+(** Raised inside a worker to simulate a crash; the engine's crash
+    isolation converts it into a diagnostic (and optionally a retry) —
+    it must never escape the worker boundary. *)

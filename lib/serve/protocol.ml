@@ -1,0 +1,244 @@
+module Json = Mlpart_obs.Json
+module Diag = Mlpart_util.Diag
+
+type netlist_src = Inline of string | Bench of string | Path of string
+
+type request = {
+  id : string;
+  client : string;
+  src : netlist_src;
+  seed : int;
+  starts : int;
+  tolerance : float;
+  timeout_ms : int option;
+  return_side : bool;
+}
+
+type query = Partition of request | Ping of string | Stats of string
+
+type status = Done | Degraded | Rejected | Failed
+
+type response = {
+  rid : string;
+  status : status;
+  cut : int option;
+  side : int array option;
+  cache : [ `Hit | `Miss | `None ];
+  retry_after_ms : int option;
+  attempts : int;
+  elapsed_ms : int;
+  diags : Diag.t list;
+  stats : Json.t option;
+  drop : bool;
+}
+
+let status_name = function
+  | Done -> "ok"
+  | Degraded -> "degraded"
+  | Rejected -> "rejected"
+  | Failed -> "failed"
+
+let status_of_name = function
+  | "ok" -> Some Done
+  | "degraded" -> Some Degraded
+  | "rejected" -> Some Rejected
+  | "failed" -> Some Failed
+  | _ -> None
+
+(* Closed over the whole Diag enum so client-side decoding keeps working
+   when codes are added: build the reverse map from [code_name] itself. *)
+let all_codes =
+  [
+    Diag.Bad_header; Diag.Bad_token; Diag.Truncated; Diag.Count_mismatch;
+    Diag.Pin_out_of_range; Diag.Duplicate_pin; Diag.Singleton_net;
+    Diag.Empty_net; Diag.Bad_module_name; Diag.Pad_offset; Diag.Bad_area;
+    Diag.Bad_weight; Diag.Bad_part; Diag.Invariant; Diag.Timeout;
+    Diag.Usage; Diag.Io_error; Diag.Queue_full; Diag.Cache_evicted;
+  ]
+
+let code_of_name n = List.find_opt (fun c -> Diag.code_name c = n) all_codes
+
+(* ---- request decoding ---- *)
+
+let query_of_line line =
+  match Json.of_string line with
+  | Error msg -> Error [ Diag.error ~source:"request" Diag.Bad_header "%s" msg ]
+  | Ok j -> (
+      let id = Option.value (Json.str_member "id" j) ~default:"" in
+      let source = if id = "" then "request" else "request " ^ id in
+      match Option.value (Json.str_member "op" j) ~default:"partition" with
+      | "ping" -> Ok (Ping id)
+      | "stats" -> Ok (Stats id)
+      | "partition" ->
+          let problems = ref [] in
+          let bad fmt =
+            Printf.ksprintf
+              (fun m ->
+                problems := Diag.error ~source Diag.Bad_token "%s" m :: !problems)
+              fmt
+          in
+          let src =
+            match
+              ( Json.str_member "hgr" j,
+                Json.str_member "bench" j,
+                Json.str_member "path" j )
+            with
+            | Some s, None, None -> Inline s
+            | None, Some b, None -> Bench b
+            | None, None, Some p -> Path p
+            | None, None, None ->
+                bad "one of \"hgr\", \"bench\", \"path\" is required";
+                Inline ""
+            | _ ->
+                bad "at most one of \"hgr\", \"bench\", \"path\" allowed";
+                Inline ""
+          in
+          let seed = Option.value (Json.int_member "seed" j) ~default:1 in
+          let starts = Option.value (Json.int_member "starts" j) ~default:1 in
+          if starts < 1 then bad "\"starts\" must be >= 1 (got %d)" starts;
+          let k = Option.value (Json.int_member "k" j) ~default:2 in
+          if k <> 2 then bad "only k=2 is supported (got %d)" k;
+          let tolerance =
+            Option.value (Json.float_member "tolerance" j) ~default:0.1
+          in
+          if not (tolerance > 0.) then
+            bad "\"tolerance\" must be positive (got %g)" tolerance;
+          let timeout_ms = Json.int_member "timeout_ms" j in
+          (match timeout_ms with
+          | Some t when t <= 0 -> bad "\"timeout_ms\" must be positive (got %d)" t
+          | Some _ | None -> ());
+          let return_side =
+            Option.value (Json.bool_member "side" j) ~default:false
+          in
+          let client =
+            Option.value (Json.str_member "client" j) ~default:"anon"
+          in
+          if !problems <> [] then Error (List.rev !problems)
+          else
+            Ok
+              (Partition
+                 {
+                   id; client; src; seed; starts; tolerance; timeout_ms;
+                   return_side;
+                 })
+      | op -> Error [ Diag.error ~source Diag.Bad_token "unknown op %S" op ])
+
+(* ---- encoding ---- *)
+
+let request_to_line r =
+  let src_field =
+    match r.src with
+    | Inline s -> ("hgr", Json.Str s)
+    | Bench b -> ("bench", Json.Str b)
+    | Path p -> ("path", Json.Str p)
+  in
+  let fields =
+    [
+      ("op", Json.Str "partition");
+      ("id", Json.Str r.id);
+      ("client", Json.Str r.client);
+      src_field;
+      ("seed", Json.Int r.seed);
+      ("starts", Json.Int r.starts);
+      ("tolerance", Json.Float r.tolerance);
+    ]
+    @ (match r.timeout_ms with
+      | Some t -> [ ("timeout_ms", Json.Int t) ]
+      | None -> [])
+    @ if r.return_side then [ ("side", Json.Bool true) ] else []
+  in
+  Json.to_string ~indent:false (Json.Obj fields)
+
+let diag_to_json (d : Diag.t) =
+  Json.Obj
+    [
+      ("severity",
+       Json.Str (match d.Diag.severity with Warning -> "warning" | Error -> "error"));
+      ("code", Json.Str (Diag.code_name d.Diag.code));
+      ("source", Json.Str d.Diag.source);
+      ("line", Json.Int d.Diag.line);
+      ("message", Json.Str d.Diag.message);
+    ]
+
+let diag_of_json j =
+  let str k = Option.value (Json.str_member k j) ~default:"" in
+  let severity =
+    if str "severity" = "warning" then Diag.Warning else Diag.Error
+  in
+  let code = Option.value (code_of_name (str "code")) ~default:Diag.Io_error in
+  Diag.make
+    ~line:(Option.value (Json.int_member "line" j) ~default:0)
+    ~severity ~source:(str "source") code "%s" (str "message")
+
+let make_response ?cut ?side ?(cache = `None) ?retry_after_ms ?(attempts = 1)
+    ?(elapsed_ms = 0) ?(diags = []) ?stats ?(drop = false) ~id status =
+  {
+    rid = id; status; cut; side; cache; retry_after_ms; attempts; elapsed_ms;
+    diags; stats; drop;
+  }
+
+let response_to_line r =
+  let opt name f = function Some v -> [ (name, f v) ] | None -> [] in
+  let fields =
+    [ ("id", Json.Str r.rid); ("status", Json.Str (status_name r.status)) ]
+    @ opt "cut" (fun c -> Json.Int c) r.cut
+    @ (match r.cache with
+      | `None -> []
+      | `Hit -> [ ("cache", Json.Str "hit") ]
+      | `Miss -> [ ("cache", Json.Str "miss") ])
+    @ opt "retry_after_ms" (fun t -> Json.Int t) r.retry_after_ms
+    @ [ ("attempts", Json.Int r.attempts); ("elapsed_ms", Json.Int r.elapsed_ms) ]
+    @ opt "side"
+        (fun side -> Json.List (Array.to_list (Array.map (fun s -> Json.Int s) side)))
+        r.side
+    @ (if r.diags = [] then []
+       else [ ("diags", Json.List (List.map diag_to_json r.diags)) ])
+    @ opt "stats" Fun.id r.stats
+  in
+  Json.to_string ~indent:false (Json.Obj fields)
+
+let response_of_line line =
+  match Json.of_string line with
+  | Error msg -> Error msg
+  | Ok j -> (
+      match Option.bind (Json.str_member "status" j) status_of_name with
+      | None -> Error "response without a valid \"status\""
+      | Some status ->
+          let side =
+            Option.map
+              (fun l ->
+                Array.of_list
+                  (List.map (function Json.Int i -> i | _ -> -1) l))
+              (Json.list_member "side" j)
+          in
+          let diags =
+            match Json.list_member "diags" j with
+            | None -> []
+            | Some l -> List.map diag_of_json l
+          in
+          Ok
+            {
+              rid = Option.value (Json.str_member "id" j) ~default:"";
+              status;
+              cut = Json.int_member "cut" j;
+              side;
+              cache =
+                (match Json.str_member "cache" j with
+                | Some "hit" -> `Hit
+                | Some "miss" -> `Miss
+                | Some _ | None -> `None);
+              retry_after_ms = Json.int_member "retry_after_ms" j;
+              attempts = Option.value (Json.int_member "attempts" j) ~default:1;
+              elapsed_ms =
+                Option.value (Json.int_member "elapsed_ms" j) ~default:0;
+              diags;
+              stats = Json.member "stats" j;
+              drop = false;
+            })
+
+let exit_code_of_response r =
+  match r.status with
+  | Done -> 0
+  | Degraded -> 5
+  | Rejected -> 6
+  | Failed -> ( match r.diags with [] -> 3 | ds -> Diag.exit_code ds)

@@ -1,0 +1,101 @@
+(** Serve-mode wire protocol: newline-delimited JSON over
+    {!Mlpart_obs.Json}.
+
+    One request per line, one response per line, in order.  Malformed
+    lines decode to typed {!Mlpart_util.Diag.t} diagnostics (never an
+    exception), so hostile bytes cost the sender a [failed] response and
+    nothing else.
+
+    Request object (partition, the default op):
+    {v
+    {"op":"partition", "id":"r1", "client":"alice",
+     "bench":"balu",              // or "hgr":"<inline text>" or "path":"f.hgr"
+     "seed":7, "starts":4, "tolerance":0.1, "k":2,
+     "timeout_ms":200, "side":false}
+    v}
+    [{"op":"ping"}] and [{"op":"stats"}] are control queries answered
+    without entering the work queue.
+
+    Response object:
+    {v
+    {"id":"r1", "status":"ok",    // ok | degraded | rejected | failed
+     "cut":41, "cache":"hit", "attempts":1, "elapsed_ms":3,
+     "retry_after_ms":20,         // rejected only
+     "side":[0,1,...],            // when requested
+     "diags":[{"severity":"warning","code":"timeout","source":"...",
+               "line":0,"message":"..."}],
+     "stats":{...}}               // stats op only
+    v} *)
+
+type netlist_src =
+  | Inline of string  (** [.hgr] text carried in the request *)
+  | Bench of string  (** Table I stand-in, instantiated at a fixed seed *)
+  | Path of string  (** server-side file path *)
+
+type request = {
+  id : string;
+  client : string;  (** admission-control identity; default ["anon"] *)
+  src : netlist_src;
+  seed : int;  (** refinement seed; the coarsening stream is content-keyed *)
+  starts : int;  (** independent multilevel starts, best kept *)
+  tolerance : float;  (** balance tolerance r *)
+  timeout_ms : int option;  (** per-job deadline budget *)
+  return_side : bool;  (** include the side assignment in the response *)
+}
+
+type query =
+  | Partition of request
+  | Ping of string  (** carries the request id *)
+  | Stats of string  (** carries the request id *)
+
+type status = Done | Degraded | Rejected | Failed
+
+type response = {
+  rid : string;
+  status : status;
+  cut : int option;
+  side : int array option;
+  cache : [ `Hit | `Miss | `None ];
+  retry_after_ms : int option;
+  attempts : int;  (** 1 + worker retries *)
+  elapsed_ms : int;
+  diags : Mlpart_util.Diag.t list;
+  stats : Mlpart_obs.Json.t option;  (** stats-query payload *)
+  drop : bool;
+      (** in-process fault-injection marker: compute, then sever the
+          connection instead of delivering.  Never serialized. *)
+}
+
+val query_of_line : string -> (query, Mlpart_util.Diag.t list) result
+(** Decode one request line.  Every defect is reported ([bad-header] for
+    non-JSON, [bad-token] for type/domain errors), not just the first. *)
+
+val request_to_line : request -> string
+(** Compact one-line encoding (the client side). *)
+
+val make_response :
+  ?cut:int ->
+  ?side:int array ->
+  ?cache:[ `Hit | `Miss | `None ] ->
+  ?retry_after_ms:int ->
+  ?attempts:int ->
+  ?elapsed_ms:int ->
+  ?diags:Mlpart_util.Diag.t list ->
+  ?stats:Mlpart_obs.Json.t ->
+  ?drop:bool ->
+  id:string ->
+  status ->
+  response
+
+val response_to_line : response -> string
+
+val response_of_line : string -> (response, string) result
+(** Client-side decode; diagnostics round-trip through {!code_of_name}. *)
+
+val status_name : status -> string
+val code_of_name : string -> Mlpart_util.Diag.code option
+
+val exit_code_of_response : response -> int
+(** Map a response onto the CLI exit-code taxonomy: [ok] 0, [degraded] 5,
+    [rejected] 6, [failed] by {!Mlpart_util.Diag.exit_code} of its
+    diagnostics (3 when it carries none). *)

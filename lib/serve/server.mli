@@ -1,0 +1,37 @@
+(** Socket front-end for the serve engine: newline-delimited JSON over a
+    Unix-domain or TCP socket, one thread per connection, responses in
+    request order per connection.
+
+    Lifecycle: {!run} accepts until a stop is requested — SIGTERM, SIGINT
+    or the [max_requests] budget — then closes the listener, rejects new
+    work, drains every queued and in-flight job through {!Engine.drain},
+    severs lingering connections, optionally writes a final [/stats]
+    snapshot, and returns.  A normal drain returns cleanly, which is what
+    lets the CLI exit 0 on SIGTERM. *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket at this path *)
+  | Tcp of string * int  (** host, port *)
+
+val addr_of_string : string -> (addr, string) result
+(** ["tcp:HOST:PORT"] or a filesystem path (Unix-domain socket). *)
+
+val addr_to_string : addr -> string
+
+val run :
+  ?max_requests:int -> ?stats_path:string -> Engine.t -> addr -> unit
+(** Serve until stopped.  [max_requests] triggers the drain after that
+    many request lines (the CI smoke harness); [stats_path] receives the
+    final {!Engine.stats_json} export.  Installs SIGTERM/SIGINT handlers
+    and ignores SIGPIPE for the duration of the call. *)
+
+(** {1 Client side} *)
+
+val with_connection : addr -> (in_channel -> out_channel -> 'a) -> 'a
+(** Connect, run, always close. *)
+
+val roundtrip :
+  in_channel -> out_channel -> string -> (Protocol.response, string) result
+(** Send one request line, read and decode one response line.  [Error]
+    covers a severed connection (the disconnect fault) and undecodable
+    responses. *)

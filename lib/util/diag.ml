@@ -18,6 +18,8 @@ type code =
   | Timeout
   | Usage
   | Io_error
+  | Queue_full
+  | Cache_evicted
 
 type t = {
   source : string;
@@ -47,6 +49,8 @@ let code_name = function
   | Timeout -> "timeout"
   | Usage -> "usage"
   | Io_error -> "io-error"
+  | Queue_full -> "queue-full"
+  | Cache_evicted -> "cache-evicted"
 
 let make ?(line = 0) ~severity ~source code fmt =
   Printf.ksprintf (fun message -> { source; line; code; severity; message }) fmt
@@ -90,6 +94,7 @@ let errors ds = List.filter (fun d -> d.severity = Error) ds
 let exit_code ds =
   let has c = List.exists (fun d -> d.code = c) ds in
   if has Usage then 2
+  else if has Queue_full then 6
   else if has Timeout then 5
   else if has Invariant then 4
   else 3

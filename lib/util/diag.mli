@@ -9,7 +9,7 @@
 
     Diagnostic classes map onto the CLI's documented exit codes
     (see {!exit_code}): 2 usage, 3 parse error, 4 invariant violation,
-    5 timeout. *)
+    5 timeout, 6 server overload (retry later). *)
 
 type severity = Warning | Error
 
@@ -31,6 +31,14 @@ type code =
   | Timeout  (** cooperative deadline expired *)
   | Usage  (** command-line misuse *)
   | Io_error  (** OS-level read/write failure *)
+  | Queue_full
+      (** serve-mode admission control shed this request (queue at
+          capacity or per-client in-flight cap); the carrying message
+          names a retry-after hint *)
+  | Cache_evicted
+      (** serve-mode hierarchy cache dropped an entry (LRU pressure or a
+          checksum mismatch); always [Warning] severity — an event, not a
+          failure *)
 
 type t = {
   source : string;  (** file name, benchmark name, or subsystem *)
@@ -76,5 +84,5 @@ val errors : t list -> t list
 
 val exit_code : t list -> int
 (** Documented CLI exit code for a diagnostic set: 2 if any [Usage], else
-    5 if any [Timeout], else 4 if any [Invariant], else 3 (parse/I-O).
-    Call with a non-empty list. *)
+    6 if any [Queue_full], else 5 if any [Timeout], else 4 if any
+    [Invariant], else 3 (parse/I-O).  Call with a non-empty list. *)

@@ -100,6 +100,8 @@ let run_job t job =
     t.job <- None;
     let err = t.error in
     t.error <- None;
+    (* wake anyone blocked in [await_idle] (drain paths, the at_exit join) *)
+    Condition.broadcast t.work_done;
     Mutex.unlock t.mutex;
     if t0 <> 0 then
       Probe.end_span ~cat:"pool" ~name:"pool/job" ~t0
@@ -269,11 +271,38 @@ let recommended_jobs () = Domain.recommended_domain_count ()
 
 let shared = ref None
 
+(* Wait until no job is in flight.  [patience] bounds the wait in seconds
+   ([None] waits indefinitely); returns whether the pool is idle.  Polling
+   (rather than a bare condition wait) is deliberate for the bounded case:
+   OCaml's [Condition] has no timed wait, and the at_exit caller must not
+   hang process teardown when the in-flight job can never finish — e.g. an
+   [exit] raised from a signal handler that interrupted [run_job] on this
+   very domain, leaving the job-clearing code unreachable below us. *)
+let await_idle ?patience t =
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) patience
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let idle = t.job = None in
+    Mutex.unlock t.mutex;
+    if idle then true
+    else
+      match deadline with
+      | Some d when Unix.gettimeofday () >= d -> false
+      | Some _ | None ->
+          Unix.sleepf 0.001;
+          loop ()
+  in
+  loop ()
+
 (* Join the shared pool's domains at process exit so a program that only
    ever used [get] terminates cleanly instead of leaking blocked domains.
-   Guarded: exit may arrive while a job is mid-flight (e.g. [exit] from a
-   signal handler), in which case shutdown refuses and we let the runtime
-   tear the process down. *)
+   Exit may arrive while a job is mid-flight (SIGTERM during a request):
+   give the job a bounded chance to complete so the workers can be joined
+   rather than leaked.  A server's drain path should already have called
+   [drain_shared], making this hook instant; the patience is the backstop
+   for exits that skipped the drain. *)
 let at_exit_registered = ref false
 
 let register_shared_at_exit () =
@@ -281,9 +310,20 @@ let register_shared_at_exit () =
     at_exit_registered := true;
     at_exit (fun () ->
         match !shared with
-        | Some t when not t.stopping -> ( try shutdown t with _ -> ())
+        | Some t when not t.stopping ->
+            if await_idle ~patience:2.0 t then (try shutdown t with _ -> ())
         | Some _ | None -> ())
   end
+
+let drain_shared () =
+  match !shared with
+  | None -> ()
+  | Some t ->
+      if not t.stopping then begin
+        ignore (await_idle t : bool);
+        shutdown t
+      end;
+      shared := None
 
 let get ~jobs =
   let jobs = Stdlib.max 1 jobs in

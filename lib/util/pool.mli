@@ -29,7 +29,18 @@ val get : jobs:int -> t
     changes — the "spawn once" entry point for harness code that is handed
     a jobs count repeatedly.  Not thread-safe; call from the orchestrating
     domain only.  The first call registers an [at_exit] hook that joins the
-    shared pool's worker domains at process exit. *)
+    shared pool's worker domains at process exit; if a job is still in
+    flight at exit time (e.g. SIGTERM during a request) the hook waits a
+    bounded ~2 s for it to finish before joining, so an exit that skipped
+    {!drain_shared} degrades to a delayed join, not a leaked domain. *)
+
+val drain_shared : unit -> unit
+(** Drain-then-exit seam for long-running servers: wait (indefinitely) for
+    any in-flight job on the shared {!get} pool to complete, join its
+    worker domains, and clear the shared slot so a later {!get} respawns
+    fresh.  No-op when no shared pool exists.  Call from a drain path that
+    has stopped submitting work, before [exit] — then the [at_exit] join
+    finds nothing left to do. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
