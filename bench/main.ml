@@ -96,6 +96,14 @@ let kernels ?json ~jobs () =
             ignore (Mlpart_placement.Spectral.run balu));
         stage "extras/rb4" (fun () ->
             ignore (Mlpart_multilevel.Rb.run ?pool (Rng.split rng) balu ~k:4));
+        (* n-level kernels: one-pair-at-a-time contraction with the
+           persistent gain cache, racing the level-batched engines above
+           (extras/rb4, table9/ml-4way) on the same Table IX workloads. *)
+        stage "nlevel/balu-2way" (fun () ->
+            ignore (Mlpart_multilevel.Nlevel.run (Rng.split rng) balu ~k:2));
+        stage "nlevel/primary1-4way" (fun () ->
+            ignore
+              (Mlpart_multilevel.Nlevel.run (Rng.split rng) primary1 ~k:4));
         stage "extras/topdown-place" (fun () ->
             ignore (Mlpart_placement.Topdown.run (Rng.split rng) balu));
         (* Phase kernel: uncoarsening refinement sweep alone. *)

@@ -382,6 +382,91 @@ let quadrisect_cmd =
   in
   Cmd.v (Cmd.info "quadrisect" ~doc:"4-way partitioning.") term
 
+let kpartition_cmd =
+  let run input seed runs jobs k engine tolerance out lenient timeout trace
+      metrics =
+    obs_setup trace metrics;
+    boundary @@ fun () ->
+    if k < 2 then usage_fail "-k must be >= 2 (got %d)" k;
+    let h = load_hypergraph ~lenient input seed in
+    let rng = Rng.create seed in
+    let deadline = deadline_of timeout in
+    let name, one =
+      match engine with
+      | `Nlevel ->
+          let module N = Mlpart_multilevel.Nlevel in
+          let config = { N.default with N.tolerance } in
+          ( "nlevel",
+            fun rng ->
+              let r = N.run ~config rng h ~k in
+              (r.N.side, r.N.cut) )
+      | `Rb ->
+          if k land (k - 1) <> 0 then
+            usage_fail "--engine rb needs a power-of-two k (got %d)" k;
+          let module Rb = Mlpart_multilevel.Rb in
+          ( "rb",
+            fun rng ->
+              let r = Rb.run rng h ~k in
+              (r.Rb.side, r.Rb.cut) )
+      | `Multiway ->
+          let module MLW = Mlpart_multilevel.Ml_multiway in
+          let config =
+            { MLW.default with
+              MLW.engine = { Mlpart_partition.Multiway.default with tolerance }
+            }
+          in
+          ( "multiway",
+            fun rng ->
+              let r = MLW.run ~config rng h ~k in
+              (r.MLW.side, r.MLW.cut) )
+    in
+    let (side, cut), completed = best_over_runs ?deadline ~runs ~jobs rng one snd in
+    let part_areas = Array.make k 0 in
+    Array.iteri (fun v p -> part_areas.(p) <- part_areas.(p) + H.area h v) side;
+    Printf.printf "%s: %s %d-way cut %d (areas %s)\n" (H.name h) name k cut
+      (String.concat "/"
+         (Array.to_list (Array.map string_of_int part_areas)));
+    write_assignment out side;
+    finish_timed_out deadline
+      (Printf.sprintf "timed out after %d of %d run(s); best-so-far reported"
+         completed (Stdlib.max 1 runs))
+  in
+  let k_arg =
+    Arg.(value & opt int 4
+         & info [ "k" ] ~docv:"K" ~doc:"Number of parts (>= 2).")
+  in
+  let kengine_arg =
+    let parse = function
+      | "nlevel" -> Ok `Nlevel
+      | "rb" -> Ok `Rb
+      | "multiway" -> Ok `Multiway
+      | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+    in
+    let print ppf e =
+      Format.pp_print_string ppf
+        (match e with
+        | `Nlevel -> "nlevel"
+        | `Rb -> "rb"
+        | `Multiway -> "multiway")
+    in
+    Arg.(value & opt (conv (parse, print)) `Nlevel
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Direct k-way engine: nlevel (default; one-pair-at-a-time \
+                   contraction with a persistent gain cache), rb (recursive \
+                   bisection, power-of-two k only), or multiway (level-batched \
+                   multilevel with Sanchis-style k-way FM).")
+  in
+  let term =
+    Term.(const run $ input_arg $ seed_arg $ runs_arg $ jobs_arg $ k_arg
+          $ kengine_arg $ tolerance_arg $ out_arg $ lenient_arg $ timeout_arg
+          $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "kpartition"
+       ~doc:"Direct k-way partitioning (n-level engine with gain cache, \
+             recursive bisection, or level-batched multilevel).")
+    term
+
 let place_cmd =
   let run input seed leaf terminal out svg lenient timeout trace metrics =
     obs_setup trace metrics;
@@ -894,8 +979,9 @@ let () =
                           resubmit." :: []
   in
   let main = Cmd.group (Cmd.info "mlpart" ~doc ~exits)
-      [ bipartition_cmd; quadrisect_cmd; place_cmd; generate_cmd;
-        evaluate_cmd; info_cmd; selfcheck_cmd; serve_cmd; client_cmd ]
+      [ bipartition_cmd; quadrisect_cmd; kpartition_cmd; place_cmd;
+        generate_cmd; evaluate_cmd; info_cmd; selfcheck_cmd; serve_cmd;
+        client_cmd ]
   in
   (* cmdliner reports its own usage errors as 124; fold them into the
      documented usage code *)

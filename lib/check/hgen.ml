@@ -42,6 +42,27 @@ let show spec =
 
 (* ---- structural shrinking ---- *)
 
+(* Valid-instance invariant: every net keeps at least two distinct pins.
+   Every shrink candidate passes through here so no transformation —
+   present or future — can leak a sub-2-pin (or zero-pin) net to a
+   consumer that assumes validity (the oracles index a net's first pin
+   unconditionally). *)
+let normalize spec =
+  let nets =
+    Array.to_list spec.nets
+    |> List.filter_map (fun (pins, w) ->
+           let pins = Array.copy pins in
+           Array.sort Int.compare pins;
+           let distinct =
+             Array.to_list pins
+             |> List.sort_uniq Int.compare
+             |> Array.of_list
+           in
+           if Array.length distinct >= 2 then Some (distinct, w) else None)
+    |> Array.of_list
+  in
+  { spec with nets }
+
 (* Remove the highest-numbered module: its pins disappear from every net,
    nets left with fewer than two pins are dropped.  Keeping removal to the
    last module avoids reindexing. *)
@@ -59,7 +80,7 @@ let drop_last_module spec =
 
 let shrink spec : spec Seq.t =
   let candidates = ref [] in
-  let push c = candidates := c :: !candidates in
+  let push c = candidates := normalize c :: !candidates in
   (* reverse order of desired priority: pushed last = tried first *)
   if num_modules spec > 2 then push (drop_last_module spec);
   Array.iteri

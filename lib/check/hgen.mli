@@ -29,6 +29,12 @@ val build_unchecked : spec -> Mlpart_hypergraph.Hypergraph.t
 val show : spec -> string
 (** Single-line rendering used in counterexample reports. *)
 
+val normalize : spec -> spec
+(** Restore the valid-instance invariant: sort and dedup every net's pins
+    and drop nets left with fewer than two distinct pins.  Every {!shrink}
+    candidate is normalized, so shrinking can never emit a zero-pin or
+    single-pin net to consumers that assume validity. *)
+
 val shrink : spec -> spec Seq.t
 (** Structural shrink candidates, most aggressive first: all areas to 1,
     all weights to 1, drop each net, drop the last module.  Every

@@ -8,6 +8,8 @@ module Multiway = Mlpart_partition.Multiway
 module Match = Mlpart_multilevel.Match
 module Ml = Mlpart_multilevel.Ml
 module Rb = Mlpart_multilevel.Rb
+module Nlevel = Mlpart_multilevel.Nlevel
+module Gain_cache = Mlpart_partition.Gain_cache
 module Pool = Mlpart_util.Pool
 
 open Property
@@ -142,9 +144,44 @@ let multiway_oracle =
           end);
     }
 
+(* The n-level engine against the exhaustive k-way oracle, with k drawn
+   from whatever the 2^18 enumeration budget allows at the instance's
+   module count (k = 2 always fits at <= 16 modules). *)
+let nlevel_oracle =
+  Packed
+    {
+      name = "oracle/nlevel";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let n = H.num_modules h in
+          let rng = Rng.create seed in
+          let ks =
+            List.filter
+              (fun k -> k = 2 || (k = 3 && n <= 11) || (k = 4 && n <= 9))
+              [ 2; 3; 4 ]
+          in
+          let k = List.nth ks (Rng.int rng (List.length ks)) in
+          let r = Nlevel.run rng h ~k in
+          let report = Objective.evaluate h r.Nlevel.side in
+          if r.Nlevel.cut <> report.Objective.net_cut then
+            failf "reported %d-way cut %d but recount is %d" k r.Nlevel.cut
+              report.Objective.net_cut
+          else
+            match Oracle.kway ~k h with
+            | None -> failf "unconstrained %d-way oracle found nothing" k
+            | Some opt ->
+                if r.Nlevel.cut < opt.Oracle.cut then
+                  failf "%d-way cut %d beats the optimum %d" k r.Nlevel.cut
+                    opt.Oracle.cut
+                else Pass);
+    }
+
 let oracle_properties =
   List.map oracle_property Engines.all
-  @ [ oracle_property Engines.ml; fm_fixed; multiway_oracle ]
+  @ [ oracle_property Engines.ml; fm_fixed; multiway_oracle; nlevel_oracle ]
 
 (* ---- metamorphic laws ---- *)
 
@@ -439,6 +476,113 @@ let repair_idempotent =
               else Pass);
     }
 
+(* n-level contraction is losslessly invertible: contracting as deep as
+   the rating allows and replaying the whole memento trail must restore a
+   hypergraph structurally identical to the input — same module count,
+   same areas, and the same pin set (as a sorted array) for every net in
+   order.  Structural identity implies Laws-equivalence: every metric of
+   every assignment is a function of exactly this data. *)
+let memento_roundtrip =
+  Packed
+    {
+      name = "laws/memento-roundtrip";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let n = H.num_modules h in
+          let hy = Nlevel.coarsen_only ~threshold:2 (Rng.create seed) h in
+          let coarse = Nlevel.num_alive hy in
+          if coarse + Nlevel.trail_length hy <> n then
+            failf "trail length %d does not account for %d contracted modules"
+              (Nlevel.trail_length hy) (n - coarse)
+          else begin
+            Nlevel.uncontract_all hy;
+            if Nlevel.num_alive hy <> n then
+              failf "uncontract_all left %d of %d modules alive"
+                (Nlevel.num_alive hy) n
+            else begin
+              let bad = ref None in
+              for v = n - 1 downto 0 do
+                if not (Nlevel.is_alive hy v) then
+                  bad := Some (Printf.sprintf "module %d still contracted" v)
+                else if Nlevel.module_area hy v <> H.area h v then
+                  bad :=
+                    Some
+                      (Printf.sprintf "module %d area %d, input had %d" v
+                         (Nlevel.module_area hy v) (H.area h v))
+              done;
+              for e = H.num_nets h - 1 downto 0 do
+                let pins = Nlevel.live_net_pins hy e in
+                let orig = H.pins_of h e in
+                Array.sort Int.compare orig;
+                if pins <> orig then
+                  bad := Some (Printf.sprintf "net %d pins differ" e)
+              done;
+              match !bad with Some msg -> Fail msg | None -> Pass
+            end
+          end);
+    }
+
+(* The k-way gain cache stays exact under arbitrary move sequences: after
+   every move, every cached (module, target) gain equals a from-scratch
+   recomputation, and the incremental cut matches both the cache's own
+   recount and the reference [Objective] evaluation. *)
+let gain_cache_consistent =
+  Packed
+    {
+      name = "laws/gain-cache";
+      gen = seeded Hgen.instance;
+      show = show_seeded;
+      law =
+        (fun (spec, seed) ->
+          let h = Hgen.build spec in
+          let n = H.num_modules h in
+          let rng = Rng.create seed in
+          let k = 2 + Rng.int rng 3 in
+          let g = Gain_cache.graph_of_hypergraph h in
+          let side = Array.init n (fun _ -> Rng.int rng k) in
+          let members = Array.init n Fun.id in
+          let t = Gain_cache.create g ~k ~members side in
+          let check_all () =
+            let report = Objective.evaluate h (Gain_cache.side_array t) in
+            if Gain_cache.cut t <> report.Objective.net_cut then
+              failf "cached cut %d but reference recount is %d"
+                (Gain_cache.cut t) report.Objective.net_cut
+            else if Gain_cache.cut t <> Gain_cache.recompute_cut t then
+              failf "cached cut %d but span recount is %d" (Gain_cache.cut t)
+                (Gain_cache.recompute_cut t)
+            else begin
+              let bad = ref None in
+              for v = 0 to n - 1 do
+                for q = 0 to k - 1 do
+                  if q <> Gain_cache.side t v && !bad = None then begin
+                    let cached = Gain_cache.gain t v q in
+                    let fresh = Gain_cache.recompute_gain t v q in
+                    if cached <> fresh then
+                      bad :=
+                        Some
+                          (Printf.sprintf
+                             "gain(%d -> %d) cached %d, recomputed %d" v q
+                             cached fresh)
+                  end
+                done
+              done;
+              match !bad with Some msg -> Fail msg | None -> Pass
+            end
+          in
+          let steps = 2 + (3 * n) in
+          let rec go i =
+            if i >= steps then Pass
+            else begin
+              Gain_cache.move t (Rng.int rng n) (Rng.int rng k);
+              match check_all () with Pass -> go (i + 1) | other -> other
+            end
+          in
+          match check_all () with Pass -> go 0 | other -> other);
+    }
+
 let law_properties =
   [
     relabel;
@@ -449,6 +593,8 @@ let law_properties =
     vcycle_monotone;
     jobs_invariance;
     repair_idempotent;
+    memento_roundtrip;
+    gain_cache_consistent;
   ]
 
 let all = oracle_properties @ law_properties

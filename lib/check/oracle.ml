@@ -43,12 +43,17 @@ let bipartition ?fixed ~bounds h =
         let cut = ref 0 in
         for e = 0 to num_nets - 1 do
           let lo = offs.(e) and hi = offs.(e + 1) in
-          let first = (mask lsr pins.(lo)) land 1 in
-          let split = ref false in
-          for s = lo + 1 to hi - 1 do
-            if (mask lsr pins.(s)) land 1 <> first then split := true
-          done;
-          if !split then cut := !cut + weights.(e)
+          (* nets with fewer than two pins (possible on unchecked,
+             degenerate instances) can never be cut; guarding also avoids
+             indexing past the pin store on a trailing zero-pin net *)
+          if hi - lo >= 2 then begin
+            let first = (mask lsr pins.(lo)) land 1 in
+            let split = ref false in
+            for s = lo + 1 to hi - 1 do
+              if (mask lsr pins.(s)) land 1 <> first then split := true
+            done;
+            if !split then cut := !cut + weights.(e)
+          end
         done;
         (* strict <: ties go to the lowest mask, so the oracle is a pure
            function of the instance *)

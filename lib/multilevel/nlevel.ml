@@ -1,0 +1,565 @@
+module H = Mlpart_hypergraph.Hypergraph
+module Rng = Mlpart_util.Rng
+module Trace = Mlpart_obs.Trace
+module Metrics = Mlpart_obs.Metrics
+module Cache = Mlpart_partition.Gain_cache
+module Gain_bucket = Mlpart_partition.Gain_bucket
+module Refine_core = Mlpart_partition.Refine_core
+module Multiway = Mlpart_partition.Multiway
+module Kpartition = Mlpart_partition.Kpartition
+
+let m_runs = Metrics.counter "nlevel.runs"
+let m_contractions = Metrics.counter "nlevel.contractions"
+let m_uncontractions = Metrics.counter "nlevel.uncontractions"
+let m_moves = Metrics.counter "nlevel.moves"
+
+type config = {
+  threshold : int;
+  max_net_size : int;
+  cluster_area_factor : float;
+  net_threshold : int;
+  tolerance : float;
+  initial_starts : int;
+  local_moves_cap : int;
+  final_passes : int;
+}
+
+let default =
+  {
+    threshold = 40;
+    max_net_size = 50;
+    cluster_area_factor = 4.0;
+    net_threshold = 200;
+    tolerance = 0.1;
+    initial_starts = 4;
+    local_moves_cap = 32;
+    final_passes = 4;
+  }
+
+type result = { side : int array; cut : int; contractions : int; moves : int }
+
+let cut_of = Multiway.cut_of
+
+(* One contraction's undo record: [v] was merged into [u].  [both] are the
+   nets that held both endpoints (v's pin was dropped, shrinking the live
+   prefix); the top [pushed] entries of u's incidence list are the nets
+   that held only v (their pin was renamed v -> u and the net appended to
+   u's list).  Replaying the trail in reverse restores the exact live
+   structure at each step, so slot positions recorded here stay valid. *)
+type memento = { u : int; v : int; both : int array; pushed : int }
+
+type hierarchy = {
+  g : Cache.graph;
+  alive : bool array;
+  mutable n_alive : int;
+  mutable trail : memento list;
+  mutable contractions : int;
+}
+
+let hierarchy_of h =
+  let n = H.num_modules h in
+  {
+    g = Cache.graph_of_hypergraph h;
+    alive = Array.make n true;
+    n_alive = n;
+    trail = [];
+    contractions = 0;
+  }
+
+let push_net g u e =
+  let d = g.Cache.mod_deg.(u) in
+  let arr = g.Cache.mod_nets.(u) in
+  if d = Array.length arr then begin
+    let arr' = Array.make (Stdlib.max 4 (2 * d)) 0 in
+    Array.blit arr 0 arr' 0 d;
+    g.Cache.mod_nets.(u) <- arr'
+  end;
+  g.Cache.mod_nets.(u).(d) <- e;
+  g.Cache.mod_deg.(u) <- d + 1
+
+(* Contract [v] into [u]: one vertex disappears, every net of [v] either
+   drops its v pin (u already present) or has it renamed to u. *)
+let contract hy u v =
+  let g = hy.g in
+  let both = ref [] in
+  let pushed = ref 0 in
+  for i = 0 to g.Cache.mod_deg.(v) - 1 do
+    let e = g.Cache.mod_nets.(v).(i) in
+    let pins = g.Cache.net_pins.(e) in
+    let s = g.Cache.net_size.(e) in
+    let has_u = ref false in
+    let v_slot = ref (-1) in
+    for j = 0 to s - 1 do
+      if pins.(j) = u then has_u := true;
+      if pins.(j) = v then v_slot := j
+    done;
+    if !has_u then begin
+      pins.(!v_slot) <- pins.(s - 1);
+      g.Cache.net_size.(e) <- s - 1;
+      both := e :: !both
+    end
+    else begin
+      pins.(!v_slot) <- u;
+      push_net g u e;
+      incr pushed
+    end
+  done;
+  g.Cache.areas.(u) <- g.Cache.areas.(u) + g.Cache.areas.(v);
+  hy.alive.(v) <- false;
+  hy.n_alive <- hy.n_alive - 1;
+  hy.contractions <- hy.contractions + 1;
+  hy.trail <- { u; v; both = Array.of_list !both; pushed = !pushed } :: hy.trail
+
+(* Undo one contraction.  When a cache rides along, every structural edit
+   is bracketed by net_will_change / net_changed so the cached gains, span
+   counts and cut stay exact; [v] rejoins in [u]'s part, which leaves the
+   cut and the part areas unchanged. *)
+let uncontract ?cache hy m =
+  let g = hy.g in
+  (match cache with
+  | Some c -> Cache.activate c m.v ~part:(Cache.side c m.u)
+  | None -> ());
+  for _ = 1 to m.pushed do
+    let d = g.Cache.mod_deg.(m.u) - 1 in
+    let e = g.Cache.mod_nets.(m.u).(d) in
+    g.Cache.mod_deg.(m.u) <- d;
+    (match cache with Some c -> Cache.net_will_change c e | None -> ());
+    let pins = g.Cache.net_pins.(e) in
+    let j = ref 0 in
+    while pins.(!j) <> m.u do
+      incr j
+    done;
+    pins.(!j) <- m.v;
+    match cache with Some c -> Cache.net_changed c e | None -> ()
+  done;
+  Array.iter
+    (fun e ->
+      (match cache with Some c -> Cache.net_will_change c e | None -> ());
+      let s = g.Cache.net_size.(e) in
+      g.Cache.net_pins.(e).(s) <- m.v;
+      g.Cache.net_size.(e) <- s + 1;
+      match cache with Some c -> Cache.net_changed c e | None -> ())
+    m.both;
+  g.Cache.areas.(m.u) <- g.Cache.areas.(m.u) - g.Cache.areas.(m.v);
+  hy.alive.(m.v) <- true;
+  hy.n_alive <- hy.n_alive + 1
+
+(* Heavy-edge-style partner rating: connectivity (weight / (size - 1))
+   summed over shared small nets, scaled down by the pair's area product —
+   the multilevel clustering rating, evaluated against the *current*
+   contracted structure rather than a per-level snapshot. *)
+type scratch = {
+  score : float array;
+  seen : int array;
+  mutable stamp : int;
+  cand : int array;
+  mutable ncand : int;
+}
+
+let make_scratch n =
+  {
+    score = Array.make n 0.;
+    seen = Array.make n 0;
+    stamp = 0;
+    cand = Array.make n 0;
+    ncand = 0;
+  }
+
+let best_partner hy sc ~max_net_size ~area_cap u =
+  let g = hy.g in
+  sc.stamp <- sc.stamp + 1;
+  sc.ncand <- 0;
+  let au = g.Cache.areas.(u) in
+  for i = 0 to g.Cache.mod_deg.(u) - 1 do
+    let e = g.Cache.mod_nets.(u).(i) in
+    let s = g.Cache.net_size.(e) in
+    if s >= 2 && s <= max_net_size then begin
+      let contrib =
+        float_of_int g.Cache.net_weight.(e) /. float_of_int (s - 1)
+      in
+      let pins = g.Cache.net_pins.(e) in
+      for j = 0 to s - 1 do
+        let w = pins.(j) in
+        if w <> u && au + g.Cache.areas.(w) <= area_cap then begin
+          if sc.seen.(w) <> sc.stamp then begin
+            sc.seen.(w) <- sc.stamp;
+            sc.score.(w) <- 0.;
+            sc.cand.(sc.ncand) <- w;
+            sc.ncand <- sc.ncand + 1
+          end;
+          sc.score.(w) <- sc.score.(w) +. contrib
+        end
+      done
+    end
+  done;
+  let best = ref (-1) in
+  let best_key = ref 0. in
+  for i = 0 to sc.ncand - 1 do
+    let w = sc.cand.(i) in
+    let key = sc.score.(w) /. float_of_int (au * g.Cache.areas.(w)) in
+    if !best < 0 || key > !best_key || (key = !best_key && w < !best) then begin
+      best := w;
+      best_key := key
+    end
+  done;
+  !best
+
+(* Sweep vertices in a fresh seeded permutation, contracting each one's
+   best-rated partner immediately (so later ratings in the same sweep see
+   the updated structure); stop at the target size or when a whole sweep
+   finds nothing contractible. *)
+let coarsen hy rng ~stop_at ~max_net_size ~area_cap =
+  let n = Array.length hy.alive in
+  let sc = make_scratch n in
+  let perm = Array.init n Fun.id in
+  let progress = ref true in
+  while hy.n_alive > stop_at && !progress do
+    progress := false;
+    Rng.shuffle_in_place rng perm;
+    (try
+       Array.iter
+         (fun u ->
+           if hy.n_alive <= stop_at then raise Exit;
+           if hy.alive.(u) then
+             let v = best_partner hy sc ~max_net_size ~area_cap u in
+             if v >= 0 then begin
+               contract hy u v;
+               progress := true
+             end)
+         perm
+     with Exit -> ())
+  done
+
+let coarsen_only ?(threshold = default.threshold)
+    ?(max_net_size = default.max_net_size)
+    ?(cluster_area_factor = default.cluster_area_factor) rng h =
+  let hy = hierarchy_of h in
+  let total = H.total_area h in
+  let area_cap =
+    Stdlib.max (H.max_area h)
+      (int_of_float
+         (cluster_area_factor *. float_of_int total
+         /. float_of_int (Stdlib.max 1 threshold)))
+  in
+  coarsen hy rng ~stop_at:(Stdlib.max 1 threshold) ~max_net_size ~area_cap;
+  hy
+
+let uncontract_all hy =
+  let rec go () =
+    match hy.trail with
+    | [] -> ()
+    | m :: rest ->
+        hy.trail <- rest;
+        uncontract hy m;
+        go ()
+  in
+  go ()
+
+let num_alive hy = hy.n_alive
+let trail_length hy = List.length hy.trail
+let is_alive hy v = hy.alive.(v)
+let module_area hy v = hy.g.Cache.areas.(v)
+
+let live_net_pins hy e =
+  let a = Array.sub hy.g.Cache.net_pins.(e) 0 hy.g.Cache.net_size.(e) in
+  Array.sort Int.compare a;
+  a
+
+(* Coarsest-level snapshot: the live structure compacted into an immutable
+   netlist (single-pin fully contracted nets are uncut by definition and
+   left out).  Returns the snapshot plus the member list mapping compact
+   ids back to live root ids, in ascending order. *)
+let coarse_snapshot hy =
+  let g = hy.g in
+  let n = Array.length hy.alive in
+  let map = Array.make n (-1) in
+  let members = Array.make hy.n_alive 0 in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if hy.alive.(v) then begin
+      map.(v) <- !next;
+      members.(!next) <- v;
+      incr next
+    end
+  done;
+  let areas = Array.map (fun v -> g.Cache.areas.(v)) members in
+  let nets = ref [] in
+  for e = Array.length g.Cache.net_size - 1 downto 0 do
+    let s = g.Cache.net_size.(e) in
+    if s >= 2 then begin
+      let pins = Array.init s (fun j -> map.(g.Cache.net_pins.(e).(j))) in
+      nets := (pins, g.Cache.net_weight.(e)) :: !nets
+    end
+  done;
+  (H.make ~areas ~nets:(Array.of_list !nets) (), members)
+
+(* Multi-start initial k-way partition of the coarsest snapshot, projected
+   onto the live roots.  Ties keep the earliest start. *)
+let initial_partition cfg rng hy side ~k =
+  let snap, members = coarse_snapshot hy in
+  let mcfg =
+    {
+      Multiway.default with
+      objective = Multiway.Net_cut;
+      net_threshold = cfg.net_threshold;
+      tolerance = cfg.tolerance;
+    }
+  in
+  let best = ref None in
+  for _ = 1 to Stdlib.max 1 cfg.initial_starts do
+    let r = Multiway.run ~config:mcfg (Rng.split rng) snap ~k in
+    match !best with
+    | Some b when b.Multiway.cut <= r.Multiway.cut -> ()
+    | Some _ | None -> best := Some r
+  done;
+  let r = Option.get !best in
+  Array.iteri (fun i v -> side.(v) <- r.Multiway.side.(i)) members;
+  members
+
+(* The coarsest partition was balanced against the snapshot's own slack
+   (larger clusters, larger slack); pull any overfull part back under the
+   finest-level bound with the cheapest outbound moves before uncoarsening
+   starts. *)
+let rebalance_coarse cache members (bounds : Kpartition.bounds) =
+  let k = Cache.k cache in
+  let continue = ref true in
+  let guard = ref (Array.length members * k) in
+  while !continue && !guard > 0 do
+    decr guard;
+    continue := false;
+    let over = ref (-1) in
+    for p = k - 1 downto 0 do
+      if Cache.part_area cache p > bounds.hi then over := p
+    done;
+    if !over >= 0 then begin
+      let p = !over in
+      let best_v = ref (-1) and best_q = ref (-1) in
+      let best_g = ref min_int in
+      Array.iter
+        (fun v ->
+          if Cache.side cache v = p then
+            let a = Cache.area cache v in
+            for q = 0 to k - 1 do
+              if q <> p && Cache.part_area cache q + a <= bounds.hi then begin
+                let g = Cache.gain cache v q in
+                if g > !best_g then begin
+                  best_g := g;
+                  best_v := v;
+                  best_q := q
+                end
+              end
+            done)
+        members;
+      if !best_v >= 0 then begin
+        Cache.move cache !best_v !best_q;
+        continue := true
+      end
+    end
+  done
+
+(* Localized refinement around the just-restored pair: greedy strictly
+   positive-gain moves seeded at {u, v}; every move activates the modules
+   whose cached gains it touched.  The cut is monotone non-increasing, so
+   the loop terminates; the cap bounds the worst case. *)
+type active = {
+  items : int array;
+  mutable len : int;
+  mark : int array;
+  mutable astamp : int;
+}
+
+let make_active n =
+  { items = Array.make n 0; len = 0; mark = Array.make n 0; astamp = 0 }
+
+let activate_vertex act v =
+  if act.mark.(v) <> act.astamp then begin
+    act.mark.(v) <- act.astamp;
+    act.items.(act.len) <- v;
+    act.len <- act.len + 1
+  end
+
+let local_refine cfg cache act (bounds : Kpartition.bounds) u v =
+  let k = Cache.k cache in
+  act.astamp <- act.astamp + 1;
+  act.len <- 0;
+  activate_vertex act u;
+  activate_vertex act v;
+  let moves = ref 0 in
+  let continue = ref true in
+  while !continue && !moves < cfg.local_moves_cap do
+    continue := false;
+    let best_v = ref (-1) and best_q = ref (-1) in
+    let best_g = ref 0 in
+    for i = 0 to act.len - 1 do
+      let w = act.items.(i) in
+      let p = Cache.side cache w in
+      let a = Cache.area cache w in
+      if Cache.part_area cache p - a >= bounds.lo then
+        for q = 0 to k - 1 do
+          if q <> p && Cache.part_area cache q + a <= bounds.hi then begin
+            let g = Cache.gain cache w q in
+            if g > !best_g then begin
+              best_g := g;
+              best_v := w;
+              best_q := q
+            end
+          end
+        done
+    done;
+    if !best_v >= 0 then begin
+      Cache.move
+        ~on_delta:(fun w _ _ -> activate_vertex act w)
+        cache !best_v !best_q;
+      incr moves;
+      continue := true
+    end
+  done;
+  !moves
+
+(* Full k-way FM polish at the finest level, on the shared move loop: one
+   direction bucket per ordered part pair keyed by *cached* gains — no
+   per-pass gain recomputation, the cache carried every delta here. *)
+let final_refine cfg cache rng h (bounds : Kpartition.bounds) =
+  let n = H.num_modules h in
+  let k = Cache.k cache in
+  let wdeg = Stdlib.max 1 (H.max_weighted_degree h) in
+  let buckets =
+    Array.init (k * k) (fun _ ->
+        Gain_bucket.create ~rng:(Rng.split rng) ~policy:Gain_bucket.Lifo
+          ~min_gain:(-wdeg) ~max_gain:wdeg ~capacity:n ())
+  in
+  let locked = Array.make n false in
+  let from_of = Array.make n 0 in
+  let order = Array.make n 0 in
+  let chosen_q = ref (-1) in
+  let fill () =
+    Array.fill locked 0 n false;
+    Array.iter Gain_bucket.clear buckets;
+    for v = 0 to n - 1 do
+      let p = Cache.side cache v in
+      for q = 0 to k - 1 do
+        if q <> p then Gain_bucket.insert buckets.((p * k) + q) v (Cache.gain cache v q)
+      done
+    done
+  in
+  let select () =
+    let best_v = ref (-1) and best_g = ref min_int in
+    chosen_q := -1;
+    for p = 0 to k - 1 do
+      for q = 0 to k - 1 do
+        if q <> p then begin
+          let b = buckets.((p * k) + q) in
+          let feas v =
+            let a = Cache.area cache v in
+            Cache.part_area cache q + a <= bounds.hi
+            && Cache.part_area cache p - a >= bounds.lo
+          in
+          let v = Gain_bucket.select_satisfying b feas in
+          if v >= 0 then begin
+            let g = Gain_bucket.gain_of b v in
+            if g > !best_g then begin
+              best_g := g;
+              best_v := v;
+              chosen_q := q
+            end
+          end
+        end
+      done
+    done;
+    !best_v
+  in
+  let ops =
+    {
+      Refine_core.select;
+      commit =
+        (fun v ->
+          let p = Cache.side cache v in
+          let q = !chosen_q in
+          locked.(v) <- true;
+          for r = 0 to k - 1 do
+            if r <> p then Gain_bucket.remove buckets.((p * k) + r) v
+          done;
+          from_of.(v) <- p;
+          let g = Cache.gain cache v q in
+          Cache.move
+            ~on_delta:(fun w r d ->
+              if not locked.(w) then
+                Gain_bucket.adjust buckets.((Cache.side cache w * k) + r) w d)
+            cache v q;
+          g);
+      undo = (fun v -> Cache.move cache v from_of.(v));
+      rebuild = (fun ~first_bad:_ ~kept:_ -> ());
+    }
+  in
+  Refine_core.drive ~max_passes:cfg.final_passes (fun ~pass:_ ->
+      fill ();
+      Refine_core.run_pass ~order ops)
+
+let run ?(config = default) rng h ~k =
+  if k < 2 then invalid_arg "Nlevel.run: k must be >= 2";
+  let n = H.num_modules h in
+  let hy = hierarchy_of h in
+  let stop_at = Stdlib.max config.threshold (2 * k) in
+  let area_cap =
+    Stdlib.max (H.max_area h)
+      (int_of_float
+         (config.cluster_area_factor
+         *. float_of_int (H.total_area h)
+         /. float_of_int stop_at))
+  in
+  let t0 = Trace.start () in
+  coarsen hy rng ~stop_at ~max_net_size:config.max_net_size ~area_cap;
+  if Trace.enabled () then
+    Trace.complete ~cat:"nlevel"
+      ~args:
+        [
+          ("contractions", Trace.Int hy.contractions);
+          ("coarse_modules", Trace.Int hy.n_alive);
+        ]
+      "nlevel/contract" t0;
+  Metrics.add m_contractions hy.contractions;
+  let side = Array.make n 0 in
+  let members = initial_partition config rng hy side ~k in
+  let cache =
+    Cache.create ~net_threshold:config.net_threshold hy.g ~k ~members side
+  in
+  let bounds = Kpartition.bounds ~tolerance:config.tolerance h ~k in
+  rebalance_coarse cache members bounds;
+  let act = make_active n in
+  let local_moves = ref 0 in
+  let uncontractions = ref 0 in
+  let t1 = Trace.start () in
+  let rec replay () =
+    match hy.trail with
+    | [] -> ()
+    | m :: rest ->
+        hy.trail <- rest;
+        uncontract ~cache hy m;
+        incr uncontractions;
+        local_moves := !local_moves + local_refine config cache act bounds m.u m.v;
+        replay ()
+  in
+  replay ();
+  if Trace.enabled () then
+    Trace.complete ~cat:"nlevel"
+      ~args:
+        [
+          ("uncontractions", Trace.Int !uncontractions);
+          ("local_moves", Trace.Int !local_moves);
+        ]
+      "nlevel/uncontract" t1;
+  Metrics.add m_uncontractions !uncontractions;
+  let t2 = Trace.start () in
+  let passes, fm_moves = final_refine config cache rng h bounds in
+  if Trace.enabled () then
+    Trace.complete ~cat:"nlevel"
+      ~args:[ ("passes", Trace.Int passes); ("moves", Trace.Int fm_moves) ]
+      "nlevel/refine" t2;
+  Metrics.incr m_runs;
+  Metrics.add m_moves (!local_moves + fm_moves);
+  {
+    side = Array.copy side;
+    cut = Cache.cut cache;
+    contractions = hy.contractions;
+    moves = !local_moves + fm_moves;
+  }

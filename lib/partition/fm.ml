@@ -442,72 +442,50 @@ let apply_fixed_locks st =
   | None -> ()
   | Some f -> Array.iteri (fun v p -> if p >= 0 then st.locked.(v) <- true) f
 
-(* One FM pass; returns the pass gain (cut decrease kept). *)
+(* One FM pass via the shared move loop; returns the pass result.  The
+   closures hand [Refine_core] exactly the operations the loop needs:
+   commit removes from the bucket, locks, applies and credits the stored
+   gain; rebuild is the CDIP streak recovery (freeze the streak's first
+   module, re-lock the kept prefix, re-derive gains and buckets). *)
 let run_pass st =
   let n = H.num_modules st.h in
   Array.fill st.locked 0 n false;
   Array.fill st.frozen 0 n false;
   apply_fixed_locks st;
   fill_structures st ~fresh_pass:true;
-  let moved = ref 0 in
-  let cum = ref 0 in
-  let best = ref 0 in
-  let best_count = ref 0 in
-  let backtracks = ref 0 in
-  let continue = ref true in
-  while !continue do
-    let v = select st in
-    if v < 0 then continue := false
-    else begin
-        Gain_bucket.remove st.buckets.(st.side.(v)) v;
-        st.locked.(v) <- true;
-        let g = st.gain.(v) in
-        apply_move st v;
-        st.order.(!moved) <- v;
-        incr moved;
-        cum := !cum + g;
-        Metrics.observe h_move_gain g;
-        if !cum > !best then begin
-          best := !cum;
-          best_count := !moved
-        end
-        else begin
-          let non_improving = !moved - !best_count in
-          (match st.cfg.early_exit with
-          | Some k when non_improving >= k -> continue := false
-          | Some _ | None -> ());
-          match st.cfg.backtrack with
-          | Some (window, limit) when non_improving >= window && !backtracks < limit
-            ->
-              incr backtracks;
-              Metrics.incr m_backtracks;
-              (* Undo the losing streak, freeze its first module, rebuild. *)
-              let first_bad = st.order.(!best_count) in
-              for i = !moved - 1 downto !best_count do
-                unmove st st.order.(i)
-              done;
-              moved := !best_count;
-              cum := !best;
-              st.frozen.(first_bad) <- true;
-              Array.fill st.locked 0 n false;
-              apply_fixed_locks st;
-              for i = 0 to !moved - 1 do
-                st.locked.(st.order.(i)) <- true
-              done;
-              for v = 0 to n - 1 do
-                if st.frozen.(v) then st.locked.(v) <- true
-              done;
-              fill_structures st ~fresh_pass:false
-          | Some _ | None -> ()
-        end
-    end
-  done;
-  (* Keep only the best prefix; what gets undone is the rollback depth. *)
-  Metrics.observe h_rollback (!moved - !best_count);
-  for i = !moved - 1 downto !best_count do
-    unmove st st.order.(i)
-  done;
-  (!best, !moved)
+  let ops =
+    {
+      Refine_core.select = (fun () -> select st);
+      commit =
+        (fun v ->
+          Gain_bucket.remove st.buckets.(st.side.(v)) v;
+          st.locked.(v) <- true;
+          let g = st.gain.(v) in
+          apply_move st v;
+          Metrics.observe h_move_gain g;
+          g);
+      undo = (fun v -> unmove st v);
+      rebuild =
+        (fun ~first_bad ~kept ->
+          Metrics.incr m_backtracks;
+          st.frozen.(first_bad) <- true;
+          Array.fill st.locked 0 n false;
+          apply_fixed_locks st;
+          for i = 0 to kept - 1 do
+            st.locked.(st.order.(i)) <- true
+          done;
+          for v = 0 to n - 1 do
+            if st.frozen.(v) then st.locked.(v) <- true
+          done;
+          fill_structures st ~fresh_pass:false);
+    }
+  in
+  let p =
+    Refine_core.run_pass ~order:st.order ?early_exit:st.cfg.early_exit
+      ?backtrack:st.cfg.backtrack ops
+  in
+  Metrics.observe h_rollback p.Refine_core.rolled_back;
+  p
 
 let run ?(config = default) ?init ?fixed ?arena rng h =
   let bounds =
@@ -591,35 +569,31 @@ let run ?(config = default) ?init ?fixed ?arena rng h =
       feas;
     }
   in
-  let passes = ref 0 in
-  let moves = ref 0 in
-  let improving = ref true in
-  while !improving && !passes < config.max_passes do
-    let t0 = Trace.start () in
-    let pass_gain, pass_moves = run_pass st in
-    incr passes;
-    moves := !moves + pass_moves;
-    if Trace.enabled () then
-      Trace.complete ~cat:"fm"
-        ~args:
-          [
-            ("pass", Trace.Int !passes);
-            ("gain", Trace.Int pass_gain);
-            ("moves", Trace.Int pass_moves);
-            ("modules", Trace.Int n);
-          ]
-        "fm/pass" t0;
-    if pass_gain <= 0 then improving := false
-  done;
+  let passes, moves =
+    Refine_core.drive ~max_passes:config.max_passes (fun ~pass ->
+        let t0 = Trace.start () in
+        let p = run_pass st in
+        if Trace.enabled () then
+          Trace.complete ~cat:"fm"
+            ~args:
+              [
+                ("pass", Trace.Int pass);
+                ("gain", Trace.Int p.Refine_core.gain);
+                ("moves", Trace.Int p.Refine_core.moves);
+                ("modules", Trace.Int n);
+              ]
+            "fm/pass" t0;
+        p)
+  in
   Metrics.incr m_runs;
-  Metrics.add m_passes !passes;
-  Metrics.add m_moves !moves;
-  Metrics.observe h_passes_per_run !passes;
+  Metrics.add m_passes passes;
+  Metrics.add m_moves moves;
+  Metrics.observe h_passes_per_run passes;
   {
     side = Bipartition.side_array st.bp;
     (* Passes maintain pin counts but stage side flips without touching the
        bipartition's incremental cut; one CSR sweep restores it exactly. *)
     cut = Bipartition.recompute_cut st.bp;
-    passes = !passes;
-    moves = !moves;
+    passes;
+    moves;
   }

@@ -209,11 +209,78 @@ let test_hgen_shrinks_valid () =
       (Hgen.shrink spec)
   done
 
+(* Shrinking used to leak sub-2-pin nets: dropping the last module could
+   leave a net with one pin, and net-drop candidates skipped renormalizing
+   entirely.  Every candidate now passes through [normalize]; pin the
+   invariant directly on a spec built to trigger every degenerate shape. *)
+let test_hgen_normalize_restores_invariant () =
+  let dirty =
+    {
+      Hgen.label = "dirty";
+      areas = [| 1; 1; 1; 1 |];
+      nets =
+        [|
+          ([||], 2) (* zero pins *);
+          ([| 2 |], 1) (* one pin *);
+          ([| 3; 3 |], 1) (* duplicates collapse to one pin *);
+          ([| 2; 0; 2 |], 1) (* unsorted with a duplicate *);
+          ([| 1; 3 |], 4) (* already fine *);
+        |];
+    }
+  in
+  let spec = Hgen.normalize dirty in
+  Alcotest.(check int) "degenerate nets dropped" 2 (Array.length spec.Hgen.nets);
+  Array.iter
+    (fun (pins, _) ->
+      Alcotest.(check bool) "at least two pins" true (Array.length pins >= 2);
+      for i = 1 to Array.length pins - 1 do
+        Alcotest.(check bool) "sorted distinct" true (pins.(i - 1) < pins.(i))
+      done)
+    spec.Hgen.nets;
+  Alcotest.(check bool) "builds a valid hypergraph" true
+    (H.validate (Hgen.build spec) = Ok ());
+  (* and every shrink of a spec that *can* produce a singleton net after
+     module-dropping stays valid *)
+  let fragile =
+    {
+      Hgen.label = "fragile";
+      areas = [| 1; 1; 1 |];
+      nets = [| ([| 0; 2 |], 1); ([| 1; 2 |], 1); ([| 0; 1 |], 1) |];
+    }
+  in
+  Seq.iter
+    (fun spec' ->
+      Array.iter
+        (fun (pins, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shrunk net valid: %s" (Hgen.show spec'))
+            true
+            (Array.length pins >= 2))
+        spec'.Hgen.nets)
+    (Hgen.shrink fragile)
+
+(* The bipartition oracle indexes a net's first pin; a zero-pin net at the
+   end of the store (reachable via make_unchecked on degenerate input) must
+   be skipped, not read out of bounds or counted as cut. *)
+let test_oracle_zero_pin_net () =
+  let spec =
+    {
+      Hgen.label = "degen";
+      areas = [| 1; 1 |];
+      nets = [| ([| 0; 1 |], 3); ([||], 5) |];
+    }
+  in
+  let h = Hgen.build_unchecked spec in
+  match Oracle.bipartition ~bounds:{ Bp.lo = 1; hi = 1 } h with
+  | None -> Alcotest.fail "feasible split not found"
+  | Some opt ->
+      Alcotest.(check int) "only the real net counts" 3 opt.Oracle.cut
+
 (* ---- end-to-end ---- *)
 
 let test_selfcheck_smoke () =
   let report = Selfcheck.run { Selfcheck.seed = 7; cases = 5; max_size = 8 } in
-  Alcotest.(check int) "all properties present" 17
+  Alcotest.(check int) "all properties present" 20
     (List.length report.Selfcheck.props);
   Alcotest.(check int) "no failures"
     0
@@ -279,11 +346,15 @@ let () =
           Alcotest.test_case "bipartition cap" `Quick test_oracle_bipartition_cap;
           Alcotest.test_case "kway chain" `Quick test_oracle_kway_chain;
           Alcotest.test_case "kway cap" `Quick test_oracle_kway_cap;
+          Alcotest.test_case "zero-pin net skipped" `Quick
+            test_oracle_zero_pin_net;
         ] );
       ( "hgen",
         [
           Alcotest.test_case "instances valid" `Quick test_hgen_instances_valid;
           Alcotest.test_case "shrinks valid" `Quick test_hgen_shrinks_valid;
+          Alcotest.test_case "normalize restores invariant" `Quick
+            test_hgen_normalize_restores_invariant;
         ] );
       ( "selfcheck",
         [

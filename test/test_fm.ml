@@ -268,6 +268,111 @@ let test_engine_golden () =
       check Alcotest.int (label ^ " side hash") h_side (hash_side r.Fm.side))
     cases
 
+(* ---- Refine_core: the shared move loop, driven by scripted ops ----
+
+   The FM engines all run through [Refine_core.run_pass] now; these tests
+   pin its best-prefix, early-exit and backtrack semantics on a scripted
+   gain sequence, independently of any hypergraph. *)
+
+module Rc = Mlpart_partition.Refine_core
+
+let scripted gains =
+  let i = ref 0 in
+  let log = ref [] in
+  let ops =
+    {
+      Rc.select = (fun () -> if !i >= Array.length gains then -1 else !i);
+      commit =
+        (fun v ->
+          log := `Commit v :: !log;
+          incr i;
+          gains.(v));
+      undo = (fun v -> log := `Undo v :: !log);
+      rebuild =
+        (fun ~first_bad ~kept -> log := `Rebuild (first_bad, kept) :: !log);
+    }
+  in
+  (ops, fun () -> List.rev !log)
+
+let run_scripted ?early_exit ?backtrack gains =
+  let ops, log = scripted gains in
+  let order = Array.make (Stdlib.max 1 (Array.length gains)) (-1) in
+  let p = Rc.run_pass ~order ?early_exit ?backtrack ops in
+  (p, log ())
+
+let test_refine_core_best_prefix () =
+  (* cumulative gains 3,2,4,-1: the best prefix is the first three moves,
+     so exactly the fourth is undone *)
+  let p, log = run_scripted [| 3; -1; 2; -5 |] in
+  check Alcotest.int "gain" 4 p.Rc.gain;
+  check Alcotest.int "moves" 4 p.Rc.moves;
+  check Alcotest.int "rolled back" 1 p.Rc.rolled_back;
+  check Alcotest.bool "only move 3 undone" true
+    (log = [ `Commit 0; `Commit 1; `Commit 2; `Commit 3; `Undo 3 ])
+
+let test_refine_core_all_negative () =
+  (* never above zero: the empty prefix wins and everything is undone, in
+     reverse commit order *)
+  let p, log = run_scripted [| -2; -1 |] in
+  check Alcotest.int "gain" 0 p.Rc.gain;
+  check Alcotest.int "rolled back" 2 p.Rc.rolled_back;
+  check Alcotest.bool "all undone in reverse" true
+    (log = [ `Commit 0; `Commit 1; `Undo 1; `Undo 0 ])
+
+let test_refine_core_early_exit () =
+  (* the losing streak hits the early-exit budget after two non-improving
+     moves; the remaining script is never selected *)
+  let p, log = run_scripted ~early_exit:2 [| 2; -1; -1; -1; -1 |] in
+  check Alcotest.int "gain" 2 p.Rc.gain;
+  check Alcotest.int "moves" 3 p.Rc.moves;
+  check Alcotest.int "rolled back" 2 p.Rc.rolled_back;
+  check Alcotest.bool "stopped after the streak" true
+    (log = [ `Commit 0; `Commit 1; `Commit 2; `Undo 2; `Undo 1 ])
+
+let test_refine_core_backtrack () =
+  (* window 2, limit 1: the two losing moves are undone mid-pass, the host
+     is asked to rebuild with the streak's first module flagged, and the
+     pass then ends at the restored best prefix with nothing left to
+     roll back *)
+  let p, log = run_scripted ~backtrack:(2, 1) [| 3; -1; -1 |] in
+  check Alcotest.int "gain" 3 p.Rc.gain;
+  check Alcotest.int "moves" 1 p.Rc.moves;
+  check Alcotest.int "rolled back" 0 p.Rc.rolled_back;
+  check Alcotest.bool "streak undone then rebuild" true
+    (log
+    = [
+        `Commit 0; `Commit 1; `Commit 2; `Undo 2; `Undo 1; `Rebuild (1, 1);
+      ])
+
+let test_refine_core_backtrack_limit () =
+  (* limit 0 must behave exactly like no backtracking *)
+  let a, _ = run_scripted ~backtrack:(2, 0) [| 3; -1; -1 |] in
+  let b, _ = run_scripted [| 3; -1; -1 |] in
+  check Alcotest.int "same gain" b.Rc.gain a.Rc.gain;
+  check Alcotest.int "same moves" b.Rc.moves a.Rc.moves;
+  check Alcotest.int "same rollback" b.Rc.rolled_back a.Rc.rolled_back
+
+let test_refine_core_drive () =
+  (* drive stops after the first non-positive pass and sums moves *)
+  let script = [| (5, 10); (2, 20); (0, 30); (9, 40) |] in
+  let calls = ref [] in
+  let passes, moves =
+    Rc.drive ~max_passes:10 (fun ~pass ->
+        calls := pass :: !calls;
+        let gain, moves = script.(pass - 1) in
+        { Rc.gain; moves; rolled_back = 0 })
+  in
+  check Alcotest.int "passes" 3 passes;
+  check Alcotest.int "moves summed" 60 moves;
+  check Alcotest.bool "pass numbers 1..3" true (List.rev !calls = [ 1; 2; 3 ]);
+  (* and respects max_passes even while improving *)
+  let passes, moves =
+    Rc.drive ~max_passes:2 (fun ~pass ->
+        { Rc.gain = 1; moves = pass; rolled_back = 0 })
+  in
+  check Alcotest.int "capped passes" 2 passes;
+  check Alcotest.int "capped moves" 3 moves
+
 (* Each pass keeps only its best prefix, so with a fixed seed the cut after
    [p] passes is non-increasing in [p] — for CDIP and boundary mode too,
    whose backtracks and partial frontiers must not break the invariant. *)
@@ -684,6 +789,16 @@ let () =
           Alcotest.test_case "boundary refines" `Quick
             test_boundary_refines_good_init;
           Alcotest.test_case "wide balance" `Quick test_wide_balance_valid;
+        ] );
+      ( "refine-core",
+        [
+          Alcotest.test_case "best prefix" `Quick test_refine_core_best_prefix;
+          Alcotest.test_case "all negative" `Quick test_refine_core_all_negative;
+          Alcotest.test_case "early exit" `Quick test_refine_core_early_exit;
+          Alcotest.test_case "backtrack" `Quick test_refine_core_backtrack;
+          Alcotest.test_case "zero backtrack limit" `Quick
+            test_refine_core_backtrack_limit;
+          Alcotest.test_case "drive" `Quick test_refine_core_drive;
         ] );
       ( "engine-regression",
         [

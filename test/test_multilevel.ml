@@ -514,6 +514,97 @@ let test_rb_objective_tradeoff () =
   check Alcotest.bool "keeping cut nets helps soed" true
     (total true <= total false + 2)
 
+(* ---- direct k-way n-level engine ---- *)
+
+module Nlevel = Mlpart_multilevel.Nlevel
+
+let test_nlevel_consistent () =
+  let h = random_instance ~modules:300 50 in
+  List.iter
+    (fun k ->
+      let r = Nlevel.run (Rng.create 51) h ~k in
+      let report = Mlpart_partition.Objective.evaluate h r.Nlevel.side in
+      check Alcotest.int
+        (Printf.sprintf "%d-way cut recount" k)
+        report.Mlpart_partition.Objective.net_cut r.Nlevel.cut;
+      check Alcotest.int
+        (Printf.sprintf "%d parts used" k)
+        k report.Mlpart_partition.Objective.parts;
+      check Alcotest.bool "contracted down" true
+        (r.Nlevel.contractions > H.num_modules h / 2))
+    [ 2; 3; 4 ]
+
+(* Golden determinism on a Table I stand-in: fixed instantiation seed,
+   fixed engine seed.  Any change here means the one-pair-at-a-time
+   pipeline (rating order, memento replay, gain-cache refinement) changed
+   output — intentional edits must update the constants. *)
+let balu () =
+  Mlpart_gen.Suite.instantiate ~seed:5 (Mlpart_gen.Suite.find "balu")
+
+let test_nlevel_golden_balu () =
+  let h = balu () in
+  List.iter
+    (fun (k, recorded) ->
+      let r = Nlevel.run (Rng.create 5) h ~k in
+      check Alcotest.int
+        (Printf.sprintf "recorded balu %d-way cut" k)
+        recorded r.Nlevel.cut;
+      check Alcotest.int "cut recount"
+        (Nlevel.cut_of h ~k r.Nlevel.side)
+        r.Nlevel.cut)
+    [ (2, 69); (4, 161) ]
+
+let test_nlevel_jobs_invariance () =
+  (* the engine is strictly sequential: running it with live worker
+     domains around (as the CLI does when --jobs > 1) must be bit-identical
+     to the bare run *)
+  let h = balu () in
+  let seq = Nlevel.run (Rng.create 5) h ~k:4 in
+  List.iter
+    (fun jobs ->
+      let par =
+        Pool.with_pool ~jobs (fun _pool -> Nlevel.run (Rng.create 5) h ~k:4)
+      in
+      check Alcotest.int
+        (Printf.sprintf "same cut at jobs=%d" jobs)
+        seq.Nlevel.cut par.Nlevel.cut;
+      check
+        Alcotest.(array int)
+        (Printf.sprintf "same side at jobs=%d" jobs)
+        seq.Nlevel.side par.Nlevel.side)
+    (intra_jobs_list ())
+
+let test_nlevel_deterministic () =
+  let h = random_instance ~modules:250 52 in
+  let a = Nlevel.run (Rng.create 53) h ~k:3 in
+  let b = Nlevel.run (Rng.create 53) h ~k:3 in
+  check Alcotest.int "same cut" a.Nlevel.cut b.Nlevel.cut;
+  check Alcotest.(array int) "same side" a.Nlevel.side b.Nlevel.side
+
+let test_nlevel_trail_covers_input () =
+  (* contraction must reach the threshold and the trail must account for
+     every vanished module; replaying it restores every module and area *)
+  let h = random_instance ~modules:200 54 in
+  let hy = Nlevel.coarsen_only ~threshold:40 (Rng.create 55) h in
+  let alive = Nlevel.num_alive hy in
+  check Alcotest.bool "reached threshold" true (alive <= 40);
+  check Alcotest.int "trail accounts for the rest"
+    (H.num_modules h - alive)
+    (Nlevel.trail_length hy);
+  Nlevel.uncontract_all hy;
+  check Alcotest.int "all alive" (H.num_modules h) (Nlevel.num_alive hy);
+  for v = 0 to H.num_modules h - 1 do
+    if Nlevel.module_area hy v <> H.area h v then
+      Alcotest.failf "module %d area %d after replay, expected %d" v
+        (Nlevel.module_area hy v) (H.area h v)
+  done
+
+let test_nlevel_rejects_bad_k () =
+  let h = random_instance 56 in
+  match Nlevel.run (Rng.create 1) h ~k:1 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "multilevel"
     [
@@ -590,5 +681,16 @@ let () =
           Alcotest.test_case "fixed through levels" `Quick
             test_mlw_fixed_respected_through_levels;
           Alcotest.test_case "no worse than flat" `Slow test_mlw_beats_flat_on_average;
+        ] );
+      ( "nlevel",
+        [
+          Alcotest.test_case "consistent" `Quick test_nlevel_consistent;
+          Alcotest.test_case "golden balu cuts" `Quick test_nlevel_golden_balu;
+          Alcotest.test_case "jobs invariance" `Quick
+            test_nlevel_jobs_invariance;
+          Alcotest.test_case "deterministic" `Quick test_nlevel_deterministic;
+          Alcotest.test_case "trail covers input" `Quick
+            test_nlevel_trail_covers_input;
+          Alcotest.test_case "rejects k < 2" `Quick test_nlevel_rejects_bad_k;
         ] );
     ]
